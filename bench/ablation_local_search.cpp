@@ -1,0 +1,82 @@
+// Ablation: how much of each heuristic's optimality gap does a local
+// search refinement pass close, and at what cost? (The paper's heuristics
+// are one-shot constructive; this quantifies the headroom an iterative
+// improver adds — relevant for anyone extending the paper.)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/evaluation.hpp"
+#include "exact/specialized_bnb.hpp"
+#include "exp/scenario.hpp"
+#include "extensions/local_search.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void print_refinement_study() {
+  std::printf("=== Ablation: local-search refinement of the paper's heuristics ===\n");
+  std::printf("(m=5, p=2, n=12 instances where the exact optimum is computable;\n");
+  std::printf(" 'gap' = mean period / optimal period - 1, before and after refining)\n\n");
+
+  mf::exp::Scenario scenario;
+  scenario.tasks = 12;
+  scenario.machines = 5;
+  scenario.types = 2;
+  constexpr std::uint64_t kTrials = 20;
+
+  mf::support::Table table(
+      {"heuristic", "gap before %", "gap after %", "mean moves", "local optimum %"});
+  for (const auto& heuristic : mf::heuristics::all_heuristics()) {
+    mf::support::RunningStats before, after, moves;
+    int converged = 0;
+    for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+      const mf::core::Problem problem = mf::exp::generate(scenario, seed);
+      const mf::exact::BnBResult optimal = mf::exact::solve_specialized_optimal(problem);
+      if (!optimal.proven_optimal || !optimal.mapping.has_value()) continue;
+      mf::support::Rng rng(seed);
+      const auto start = heuristic->run(problem, rng);
+      if (!start.has_value()) continue;
+      const mf::ext::RefinementResult refined = mf::ext::refine_mapping(problem, *start);
+      before.add(100.0 * (refined.initial_period / optimal.period - 1.0));
+      after.add(100.0 * (refined.period / optimal.period - 1.0));
+      moves.add(static_cast<double>(refined.moves_applied));
+      converged += refined.converged ? 1 : 0;
+    }
+    table.add_row({heuristic->name(), mf::support::format_double(before.mean(), 1),
+                   mf::support::format_double(after.mean(), 1),
+                   mf::support::format_double(moves.mean(), 1),
+                   mf::support::format_double(100.0 * converged / kTrials, 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_Refine(benchmark::State& state) {
+  mf::exp::Scenario scenario;
+  scenario.tasks = static_cast<std::size_t>(state.range(0));
+  scenario.machines = 8;
+  scenario.types = 3;
+  const mf::core::Problem problem = mf::exp::generate(scenario, 4);
+  mf::support::Rng rng(4);
+  const auto start = mf::heuristics::heuristic_by_name("H1")->run(problem, rng);
+  double gain = 0.0;
+  for (auto _ : state) {
+    const auto refined = mf::ext::refine_mapping(problem, *start);
+    gain = refined.initial_period / refined.period;
+    benchmark::DoNotOptimize(gain);
+  }
+  state.counters["speedup_vs_H1"] = gain;
+}
+BENCHMARK(BM_Refine)->Arg(15)->Arg(30)->Arg(60)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_refinement_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 5 — specialized mappings, m=50 machines, p=5 types, n=50..150.
+// Paper's shape: H1 (random) and H4f (reliability-only) are far above the
+// informed heuristics; H2/H3/H4/H4w cluster together at the bottom.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mf::benchfig::figure_main(argc, argv, mf::exp::figure5_spec());
+}

@@ -1,0 +1,8 @@
+// Figure 6 — specialized mappings, m=10 machines, p=2 types, n=10..100.
+// Paper's shape: on this small platform H4 sits slightly below the others
+// (its failure factor pays off); all informed heuristics grow linearly in n.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mf::benchfig::figure_main(argc, argv, mf::exp::figure6_spec());
+}

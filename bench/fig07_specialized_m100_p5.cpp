@@ -1,0 +1,8 @@
+// Figure 7 — specialized mappings, m=100 machines, p=5 types, n=100..200.
+// Paper's shape: with a large platform H4w (speed-only) pulls ahead of H2
+// and H3 — machine speed matters more than reliability at 0.5-2% failures.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mf::benchfig::figure_main(argc, argv, mf::exp::figure7_spec());
+}

@@ -1,0 +1,8 @@
+// Figure 8 — high failure rates (0 <= f_{i,u} <= 10%), m=10, p=5,
+// n=10..100. Paper's shape: periods increase dramatically with n, and the
+// binary-search heuristic H2 copes best in this regime.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mf::benchfig::figure_main(argc, argv, mf::exp::figure8_spec());
+}

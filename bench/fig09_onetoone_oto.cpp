@@ -1,0 +1,10 @@
+// Figure 9 — one-to-one optimum (OtO, exact bottleneck assignment) vs
+// heuristics; m = n = 100, failures attached to tasks only (f_{i,u} = f_i),
+// p = 20..100, 100 trials per point.
+// Paper's shape: H4w closest to OtO at small p (factor ~1.28); all
+// heuristics converge as p approaches m because grouping freedom vanishes.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mf::benchfig::figure_main(argc, argv, mf::exp::figure9_spec(), "OtO");
+}

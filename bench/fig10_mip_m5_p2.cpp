@@ -1,0 +1,9 @@
+// Figure 10 — heuristics vs the exact optimum ("MIP"), m=5, p=2, n=2..16,
+// the paper's 30-successes-out-of-60-trials protocol.
+// Paper's shape: H4w is the best heuristic; H2/H4 close behind; H1 and H4f
+// far above; the exact curve sits below everything.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mf::benchfig::figure_main(argc, argv, mf::exp::figure10_spec(), "MIP");
+}

@@ -1,0 +1,42 @@
+// Figure 11 — Figure 10 normalized to the exact optimum: each heuristic's
+// period divided by the MIP period, per point and averaged.
+// Paper's headline: H2, H3 and H4w at factors ~1.73, ~1.58 and ~1.33.
+#include <cstdio>
+
+#include "figure_main.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  mf::exp::SweepSpec spec = mf::exp::figure10_spec();
+  spec.name = "fig11";
+  spec.description = "Figure 10 normalized to the exact optimum (Figure 11)";
+  const mf::exp::SweepResult result = mf::benchfig::run_and_print(spec, "MIP");
+
+  // Per-point normalization table (the actual Figure 11 series).
+  std::vector<std::string> header{"number of tasks"};
+  for (const auto& method : spec.methods) {
+    if (method.name != "MIP") header.push_back(method.name + " / MIP");
+  }
+  mf::support::Table table(header);
+  for (const auto& point : result.points) {
+    const auto ref = point.period_by_method.find("MIP");
+    if (ref == point.period_by_method.end() || ref->second.count == 0) continue;
+    std::vector<std::string> row{std::to_string(point.sweep_value)};
+    for (const auto& method : spec.methods) {
+      if (method.name == "MIP") continue;
+      const auto& summary = point.period_by_method.at(method.name);
+      row.push_back(summary.count == 0
+                        ? "-"
+                        : mf::support::format_double(summary.mean / ref->second.mean, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("normalized series (period / optimal period):\n%s\n",
+              table.to_string().c_str());
+
+  mf::benchfig::register_method_benchmarks(spec);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

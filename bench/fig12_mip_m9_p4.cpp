@@ -1,0 +1,9 @@
+// Figure 12 — heuristics vs the exact optimum ("MIP"), m=9, p=4, n=4..20.
+// Paper's shape: the exact solver stops producing solutions past ~15 tasks
+// (CPLEX there, a node-budgeted branch-and-bound here); the trials column
+// shows the success protocol thinning out as n grows.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return mf::benchfig::figure_main(argc, argv, mf::exp::figure12_spec(), "MIP");
+}

@@ -1,0 +1,112 @@
+// Shared driver for the per-figure bench binaries.
+//
+// Each figure binary calls `figure_main` with its SweepSpec. The driver
+//   1. runs the sweep (the paper's experiment, same trial counts) and
+//      prints the series as a table and an ASCII chart — the figure's
+//      rows, directly comparable to the paper;
+//   2. optionally prints ratio-to-reference lines (the Section 7.4
+//      "factor from the optimal" numbers);
+//   3. registers one google-benchmark per method timing a solve on the
+//      largest sweep point, then hands control to the benchmark library.
+//
+// Environment knobs:
+//   MF_FIGURE_SCALE=k  divide trial counts by k (quick runs; default 1)
+//   MF_THREADS=t       worker threads for trial replication
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "exp/figures.hpp"
+#include "exp/runner.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mf::benchfig {
+
+inline std::size_t figure_scale() {
+  if (const char* env = std::getenv("MF_FIGURE_SCALE")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 1) return static_cast<std::size_t>(parsed);
+  }
+  return 1;
+}
+
+/// Runs the sweep and prints the paper-comparable output. Returns the
+/// result so callers can derive extra tables (e.g. Figure 11's
+/// normalization of Figure 10).
+inline exp::SweepResult run_and_print(exp::SweepSpec spec,
+                                      const std::string& ratio_reference = "") {
+  const std::size_t scale = figure_scale();
+  if (scale > 1) spec = exp::scaled_down(spec, scale);
+
+  std::printf("=== %s: %s ===\n", spec.name.c_str(), spec.description.c_str());
+  std::printf("scenario: %s; sweep over %s; %zu trials/point%s\n",
+              spec.base.describe().c_str(), exp::to_string(spec.variable).c_str(),
+              spec.trials, scale > 1 ? " (scaled down via MF_FIGURE_SCALE)" : "");
+
+  support::ThreadPool pool;
+  const exp::SweepResult result = exp::run_sweep(spec, &pool);
+
+  std::printf("%s\n", result.to_table().to_string().c_str());
+  std::printf("%s\n", result.to_chart().c_str());
+
+  if (!ratio_reference.empty()) {
+    std::printf("mean period ratio to %s (the paper's \"factor from optimal\"):\n",
+                ratio_reference.c_str());
+    for (const auto& [name, ratio] : result.mean_ratio_to(ratio_reference)) {
+      std::printf("  %-4s %.2f\n", name.c_str(), ratio);
+    }
+    std::printf("\n");
+  }
+  return result;
+}
+
+/// Registers one wall-time benchmark per method on the largest sweep point.
+inline void register_method_benchmarks(const exp::SweepSpec& spec) {
+  const std::size_t value = spec.values.back();
+  for (const exp::Method& method : spec.methods) {
+    const std::string name = spec.name + "/solve_" + method.name +
+                             "/n_or_p=" + std::to_string(value);
+    benchmark::RegisterBenchmark(name.c_str(), [spec, method, value](benchmark::State& state) {
+      exp::Scenario scenario = spec.base;
+      switch (spec.variable) {
+        case exp::SweepVariable::kTasks:
+          scenario.tasks = value;
+          break;
+        case exp::SweepVariable::kTypes:
+          scenario.types = value;
+          break;
+        case exp::SweepVariable::kMachines:
+          scenario.machines = value;
+          break;
+      }
+      const core::Problem problem = exp::generate(scenario, 12345);
+      double period = 0.0;
+      for (auto _ : state) {
+        support::Rng rng(1);
+        const auto mapping = method.solve(problem, rng);
+        if (mapping.has_value()) period = core::period(problem, *mapping);
+        benchmark::DoNotOptimize(period);
+      }
+      state.counters["period_ms"] = period;
+    });
+  }
+}
+
+/// Full figure-binary main body.
+inline int figure_main(int argc, char** argv, const exp::SweepSpec& spec,
+                       const std::string& ratio_reference = "") {
+  run_and_print(spec, ratio_reference);
+  register_method_benchmarks(spec);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mf::benchfig

@@ -1,0 +1,104 @@
+// Microbenchmarks: heuristic scaling in n and m, plus the
+// forward-vs-backward traversal ablation DESIGN.md calls out (the backward
+// order is what makes the x_i computable during assignment; the "forward"
+// variant here scores with x = 1 placeholders to show the quality loss).
+#include <benchmark/benchmark.h>
+
+#include "core/evaluation.hpp"
+#include "exp/scenario.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mf::core::Problem;
+
+Problem instance(std::size_t n, std::size_t m, std::size_t p, std::uint64_t seed) {
+  mf::exp::Scenario scenario;
+  scenario.tasks = n;
+  scenario.machines = m;
+  scenario.types = p;
+  return mf::exp::generate(scenario, seed);
+}
+
+void BM_Heuristic(benchmark::State& state, const std::string& name) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const Problem problem = instance(n, m, std::min<std::size_t>(5, m), 99);
+  const auto heuristic = mf::heuristics::heuristic_by_name(name);
+  double period = 0.0;
+  for (auto _ : state) {
+    mf::support::Rng rng(1);
+    const auto mapping = heuristic->run(problem, rng);
+    period = mf::core::period(problem, *mapping);
+    benchmark::DoNotOptimize(period);
+  }
+  state.counters["period_ms"] = period;
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void register_heuristic_benches() {
+  for (const char* name : {"H1", "H2", "H3", "H4", "H4w", "H4f"}) {
+    auto* bench = benchmark::RegisterBenchmark(
+        (std::string("heuristic/") + name).c_str(),
+        [name](benchmark::State& state) { BM_Heuristic(state, name); });
+    bench->Args({50, 20})->Args({100, 50})->Args({200, 50})->Args({400, 100});
+  }
+}
+
+/// Ablation: x-aware backward greedy (H4w proper) vs an x-blind variant
+/// that scores with w only (as a forward pass without x would have to).
+/// Run on identical instances; the counters report both periods so the
+/// quality gap is visible next to the timing.
+void BM_BackwardOrderAblation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Problem problem = instance(n, 20, 5, 7);
+  const auto h4w = mf::heuristics::heuristic_by_name("H4w");
+  double aware = 0.0;
+  double blind = 0.0;
+  for (auto _ : state) {
+    mf::support::Rng rng(1);
+    aware = mf::core::period(problem, *h4w->run(problem, rng));
+    // x-blind: greedy load balancing ignoring product inflation entirely.
+    std::vector<mf::core::MachineIndex> assignment(problem.task_count());
+    std::vector<double> loads(problem.machine_count(), 0.0);
+    std::vector<mf::core::TypeIndex> machine_type(problem.machine_count(),
+                                                  mf::core::kNoTask);
+    for (mf::core::TaskIndex i = 0; i < problem.task_count(); ++i) {  // forward!
+      double best = std::numeric_limits<double>::infinity();
+      mf::core::MachineIndex pick = 0;
+      for (mf::core::MachineIndex u = 0; u < problem.machine_count(); ++u) {
+        const auto t = problem.app.type_of(i);
+        if (machine_type[u] != mf::core::kNoTask && machine_type[u] != t) continue;
+        const double score = loads[u] + problem.platform.time(i, u);
+        if (score < best) {
+          best = score;
+          pick = u;
+        }
+      }
+      machine_type[pick] = problem.app.type_of(i);
+      loads[pick] += problem.platform.time(i, pick);
+      assignment[i] = pick;
+    }
+    const mf::core::Mapping forward{assignment};
+    if (forward.complies_with(mf::core::MappingRule::kSpecialized, problem.app,
+                              problem.machine_count())) {
+      blind = mf::core::period(problem, forward);
+    }
+    benchmark::DoNotOptimize(aware);
+    benchmark::DoNotOptimize(blind);
+  }
+  state.counters["period_backward_ms"] = aware;
+  state.counters["period_forward_blind_ms"] = blind;
+}
+BENCHMARK(BM_BackwardOrderAblation)->Arg(50)->Arg(100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_heuristic_benches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks for the discrete-event simulator: event throughput in
+// saturation and batch modes, and scaling with line length and machine
+// sharing.
+#include <benchmark/benchmark.h>
+
+#include "core/evaluation.hpp"
+#include "exp/scenario.hpp"
+#include "heuristics/heuristic.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mf::core::Problem;
+
+Problem instance(std::size_t n, std::size_t m, std::uint64_t seed) {
+  mf::exp::Scenario scenario;
+  scenario.tasks = n;
+  scenario.machines = m;
+  scenario.types = std::min<std::size_t>(4, m);
+  return mf::exp::generate(scenario, seed);
+}
+
+void BM_SaturationRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Problem problem = instance(n, n / 2 + 1, 11);
+  mf::support::Rng rng(1);
+  const auto mapping = mf::heuristics::heuristic_by_name("H4w")->run(problem, rng);
+  const mf::sim::Simulator simulator(problem, *mapping);
+  mf::sim::SimulationConfig config;
+  config.target_outputs = 1'000;
+  config.warmup_outputs = 100;
+  std::uint64_t attempts = 0;
+  for (auto _ : state) {
+    const auto report = simulator.run(config);
+    attempts = 0;
+    for (const auto& counters : report.per_task) attempts += counters.attempts;
+    benchmark::DoNotOptimize(report.measured_period);
+  }
+  // Each attempt is one simulated processing event.
+  state.SetItemsProcessed(static_cast<std::int64_t>(attempts) *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["events_per_run"] = static_cast<double>(attempts);
+}
+BENCHMARK(BM_SaturationRun)->Arg(5)->Arg(20)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_BatchRun(benchmark::State& state) {
+  const auto supply = static_cast<std::uint64_t>(state.range(0));
+  const Problem problem = instance(10, 5, 12);
+  mf::support::Rng rng(1);
+  const auto mapping = mf::heuristics::heuristic_by_name("H4w")->run(problem, rng);
+  const mf::sim::Simulator simulator(problem, *mapping);
+  mf::sim::SimulationConfig config;
+  config.target_outputs = 0;
+  config.warmup_outputs = 0;
+  config.source_supply = supply;
+  for (auto _ : state) {
+    const auto report = simulator.run(config);
+    benchmark::DoNotOptimize(report.finished_products);
+  }
+}
+BENCHMARK(BM_BatchRun)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_InTreeRun(benchmark::State& state) {
+  mf::exp::Scenario scenario;
+  scenario.tasks = 20;
+  scenario.machines = 8;
+  scenario.types = 4;
+  const Problem problem = mf::exp::generate_in_tree(scenario, 0.4, 13);
+  mf::support::Rng rng(1);
+  const auto mapping = mf::heuristics::heuristic_by_name("H4w")->run(problem, rng);
+  const mf::sim::Simulator simulator(problem, *mapping);
+  mf::sim::SimulationConfig config;
+  config.target_outputs = 500;
+  config.warmup_outputs = 50;
+  for (auto _ : state) {
+    const auto report = simulator.run(config);
+    benchmark::DoNotOptimize(report.measured_period);
+  }
+}
+BENCHMARK(BM_InTreeRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Production batch planning under loss guarantees.
+//
+// A customer orders `xout` finished micro-products. Because every task can
+// destroy the product, the factory must feed in more raw parts than it
+// ships. This example compares three answers to "how many raw parts?":
+//   1. the expectation-based count (Section 4.1's x_i recursion),
+//   2. the probabilistic guarantee (Section 2's window-constrained view:
+//      enough inputs that P(outputs >= xout) >= confidence),
+//   3. a Monte-Carlo check with the discrete-event simulator.
+//
+//   ./batch_planner [--order N] [--confidence C] [--runs R] [--seed S]
+#include <cmath>
+#include <cstdio>
+
+#include "core/evaluation.hpp"
+#include "exp/scenario.hpp"
+#include "extensions/window_constrained.hpp"
+#include "heuristics/heuristic.hpp"
+#include "sim/simulator.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  const mf::support::CliArgs args(argc, argv);
+  const auto order = static_cast<std::uint64_t>(args.get_int("order", 1000));
+  const double confidence = args.get_double("confidence", 0.95);
+  const auto runs = static_cast<std::uint64_t>(args.get_int("runs", 200));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+  // A 10-stage line on 5 cells, mapped with H4w.
+  mf::exp::Scenario scenario;
+  scenario.tasks = 10;
+  scenario.machines = 5;
+  scenario.types = 3;
+  const mf::core::Problem problem = mf::exp::generate(scenario, seed);
+  mf::support::Rng rng(seed);
+  const auto mapping = mf::heuristics::heuristic_by_name("H4w")->run(problem, rng);
+  if (!mapping.has_value()) return 1;
+
+  const double survival = mf::ext::chain_survival_probability(problem, *mapping);
+  std::printf("line: %s\n", scenario.describe().c_str());
+  std::printf("chain survival probability per raw part: %.4f\n\n", survival);
+
+  // 1. Expectation-based batch.
+  const auto expected_inputs =
+      mf::core::expected_inputs_for(problem, *mapping, static_cast<double>(order));
+  const auto expectation_batch = static_cast<std::uint64_t>(std::ceil(expected_inputs[0]));
+  std::printf("order: %llu finished products at %.0f%% confidence\n",
+              static_cast<unsigned long long>(order), confidence * 100);
+  std::printf("  expectation-based batch:  %llu raw parts\n",
+              static_cast<unsigned long long>(expectation_batch));
+
+  // 2. Guaranteed batch (exact binomial tail).
+  const std::uint64_t guaranteed_batch =
+      mf::ext::required_inputs(problem, *mapping, order, confidence);
+  std::printf("  %.0f%%-guaranteed batch:    %llu raw parts (+%llu safety margin)\n",
+              confidence * 100, static_cast<unsigned long long>(guaranteed_batch),
+              static_cast<unsigned long long>(guaranteed_batch - expectation_batch));
+
+  // Window-constrained reading: losses per window of 100 consecutive parts.
+  const std::uint64_t loss_bound =
+      mf::ext::window_loss_bound(problem, *mapping, 100, confidence);
+  std::printf("  window-constrained view:  at most %llu losses per 100 parts (%.0f%% conf)\n\n",
+              static_cast<unsigned long long>(loss_bound), confidence * 100);
+
+  // 3. Monte-Carlo validation with the DES in batch mode.
+  auto fulfilled_fraction = [&](std::uint64_t batch) {
+    std::uint64_t fulfilled = 0;
+    const mf::sim::Simulator simulator(problem, *mapping);
+    for (std::uint64_t r = 0; r < runs; ++r) {
+      mf::sim::SimulationConfig config;
+      config.seed = mf::support::mix_seed(seed, r);
+      config.target_outputs = 0;  // run until the batch drains
+      config.warmup_outputs = 0;
+      config.source_supply = batch;
+      const auto report = simulator.run(config);
+      fulfilled += report.finished_products >= order ? 1 : 0;
+    }
+    return static_cast<double>(fulfilled) / static_cast<double>(runs);
+  };
+
+  std::printf("Monte-Carlo with %llu simulated campaigns each:\n",
+              static_cast<unsigned long long>(runs));
+  std::printf("  expectation-based batch fulfills the order in %.1f%% of campaigns\n",
+              100.0 * fulfilled_fraction(expectation_batch));
+  std::printf("  guaranteed batch fulfills the order in %.1f%% of campaigns (target %.0f%%)\n",
+              100.0 * fulfilled_fraction(guaranteed_batch), confidence * 100);
+  std::printf("\nThe expectation-based batch misses the order roughly half the time —\n");
+  std::printf("exactly why the guarantee-based planner matters for physical products.\n");
+  return 0;
+}

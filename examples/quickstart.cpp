@@ -1,0 +1,59 @@
+// Quickstart: model a small micro-factory line, map it with every
+// heuristic and the exact solver, and compare throughputs.
+//
+//   ./quickstart [--tasks N] [--machines M] [--types P] [--seed S]
+#include <cstdio>
+
+#include "core/evaluation.hpp"
+#include "exact/specialized_bnb.hpp"
+#include "exp/scenario.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  const mf::support::CliArgs args(argc, argv);
+
+  // 1. Describe the production problem: a chain of typed micro-assembly
+  //    tasks on a platform of cells with per-(task, machine) speeds and
+  //    failure rates. Here we draw a random instance with the paper's
+  //    distributions; real deployments would fill the matrices from
+  //    calibration data (see core/platform.hpp).
+  mf::exp::Scenario scenario;
+  scenario.tasks = static_cast<std::size_t>(args.get_int("tasks", 12));
+  scenario.machines = static_cast<std::size_t>(args.get_int("machines", 6));
+  scenario.types = static_cast<std::size_t>(args.get_int("types", 3));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const mf::core::Problem problem = mf::exp::generate(scenario, seed);
+
+  std::printf("problem: %s\n", scenario.describe().c_str());
+  std::printf("application: %s\n\n", problem.app.describe().c_str());
+
+  // 2. Run the paper's six heuristics.
+  mf::support::Table table({"method", "period (ms)", "throughput (products/s)", "mapping"});
+  mf::support::Rng rng(seed);
+  for (const auto& heuristic : mf::heuristics::all_heuristics()) {
+    const auto mapping = heuristic->run(problem, rng);
+    if (!mapping.has_value()) {
+      table.add_row({heuristic->name(), "-", "-", "infeasible"});
+      continue;
+    }
+    const double period = mf::core::period(problem, *mapping);
+    table.add_row({heuristic->name(), mf::support::format_double(period, 1),
+                   mf::support::format_double(1000.0 / period, 3),
+                   mapping->describe(problem.app)});
+  }
+
+  // 3. And the exact optimum for reference (exponential, fine at this size).
+  const mf::exact::BnBResult exact = mf::exact::solve_specialized_optimal(problem);
+  if (exact.mapping.has_value()) {
+    table.add_row({"optimal", mf::support::format_double(exact.period, 1),
+                   mf::support::format_double(1000.0 / exact.period, 3),
+                   exact.mapping->describe(problem.app)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("The 'period' is the time the busiest cell spends per finished product\n");
+  std::printf("(Section 4.1 of the paper); throughput = 1/period.\n");
+  return 0;
+}

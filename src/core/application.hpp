@@ -1,0 +1,74 @@
+// The applicative framework of Section 3.1: a set of typed tasks whose
+// dependency graph is an in-tree (every task has at most one successor;
+// joins merge physical sub-products, forks are impossible because a physical
+// product cannot be split). Linear chains — the case evaluated throughout
+// Section 7 — are the special in-tree where every task also has at most one
+// predecessor.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mf::core {
+
+class Application {
+ public:
+  /// Builds the linear chain T_0 -> T_1 -> ... -> T_{n-1} (paper's
+  /// T_1..T_n) with the given task types. Types must be dense: every value
+  /// in [0, max(types)] must occur at least once.
+  [[nodiscard]] static Application linear_chain(std::vector<TypeIndex> types);
+
+  /// Builds a general in-tree. `successor[i]` is the task consuming T_i's
+  /// output, or kNoTask for sinks. The graph must be acyclic; multiple
+  /// sinks (a forest) are allowed.
+  [[nodiscard]] static Application from_successors(std::vector<TypeIndex> types,
+                                                   std::vector<TaskIndex> successor);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return types_.size(); }
+  /// Number of distinct task types, the paper's p.
+  [[nodiscard]] std::size_t type_count() const noexcept { return type_count_; }
+
+  [[nodiscard]] TypeIndex type_of(TaskIndex i) const;
+  /// Successor task or kNoTask if T_i is a sink.
+  [[nodiscard]] TaskIndex successor(TaskIndex i) const;
+  [[nodiscard]] const std::vector<TaskIndex>& predecessors(TaskIndex i) const;
+
+  /// Tasks with no successor (roots of the in-trees).
+  [[nodiscard]] const std::vector<TaskIndex>& sinks() const noexcept { return sinks_; }
+  /// Tasks with no predecessor (where raw products enter the factory).
+  [[nodiscard]] const std::vector<TaskIndex>& sources() const noexcept { return sources_; }
+  [[nodiscard]] const std::vector<TaskIndex>& tasks_of_type(TypeIndex t) const;
+
+  /// True when the graph is a single chain (exactly the Section 7 setting).
+  [[nodiscard]] bool is_linear_chain() const noexcept { return is_linear_chain_; }
+
+  /// Every task appears *after* its successor. This is the traversal order
+  /// of all six heuristics ("starting with the last task of the application
+  /// graph and going backward"), and the order in which x_i values become
+  /// computable.
+  [[nodiscard]] const std::vector<TaskIndex>& backward_order() const noexcept {
+    return backward_order_;
+  }
+
+  /// Human-readable description (used by examples and traces).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  Application() = default;
+  void finalize();  // derives predecessors, orders, sinks/sources; validates
+
+  std::vector<TypeIndex> types_;
+  std::vector<TaskIndex> successor_;
+  std::vector<std::vector<TaskIndex>> predecessors_;
+  std::vector<std::vector<TaskIndex>> tasks_by_type_;
+  std::vector<TaskIndex> backward_order_;
+  std::vector<TaskIndex> sinks_;
+  std::vector<TaskIndex> sources_;
+  std::size_t type_count_ = 0;
+  bool is_linear_chain_ = false;
+};
+
+}  // namespace mf::core

@@ -1,0 +1,98 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/failure.hpp"
+#include "support/check.hpp"
+
+namespace mf::core {
+
+std::vector<double> expected_products(const Problem& problem, const Mapping& mapping) {
+  const Application& app = problem.app;
+  MF_REQUIRE(mapping.task_count() == app.task_count(), "mapping size mismatch");
+  MF_REQUIRE(mapping.is_complete(problem.machine_count()), "mapping must be complete");
+
+  std::vector<double> x(app.task_count(), 0.0);
+  // backward_order guarantees successors are computed before predecessors.
+  for (TaskIndex i : app.backward_order()) {
+    const TaskIndex succ = app.successor(i);
+    const double downstream = succ == kNoTask ? 1.0 : x[succ];
+    x[i] = downstream * problem.platform.attempts_per_success(i, mapping.machine_of(i));
+  }
+  return x;
+}
+
+std::vector<double> machine_periods(const Problem& problem, const Mapping& mapping) {
+  const std::vector<double> x = expected_products(problem, mapping);
+  std::vector<double> periods(problem.machine_count(), 0.0);
+  for (TaskIndex i = 0; i < problem.task_count(); ++i) {
+    const MachineIndex u = mapping.machine_of(i);
+    periods[u] += x[i] * problem.platform.time(i, u);
+  }
+  return periods;
+}
+
+double period(const Problem& problem, const Mapping& mapping) {
+  const std::vector<double> periods = machine_periods(problem, mapping);
+  return *std::max_element(periods.begin(), periods.end());
+}
+
+double throughput(const Problem& problem, const Mapping& mapping) {
+  const double p = period(problem, mapping);
+  MF_CHECK(p > 0.0, "period must be positive");
+  return 1.0 / p;
+}
+
+std::vector<MachineIndex> critical_machines(const Problem& problem, const Mapping& mapping) {
+  const std::vector<double> periods = machine_periods(problem, mapping);
+  const double worst = *std::max_element(periods.begin(), periods.end());
+  std::vector<MachineIndex> critical;
+  for (MachineIndex u = 0; u < periods.size(); ++u) {
+    // Exact comparison is intended: the max is one of the stored values.
+    if (periods[u] == worst) critical.push_back(u);
+  }
+  return critical;
+}
+
+std::vector<double> max_expected_products(const Problem& problem) {
+  const Application& app = problem.app;
+  std::vector<double> max_x(app.task_count(), 0.0);
+  for (TaskIndex i : app.backward_order()) {
+    const TaskIndex succ = app.successor(i);
+    const double downstream = succ == kNoTask ? 1.0 : max_x[succ];
+    double worst_f = 0.0;
+    for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
+      worst_f = std::max(worst_f, problem.platform.failure(i, u));
+    }
+    max_x[i] = downstream * survival_inverse(worst_f);
+  }
+  return max_x;
+}
+
+double period_upper_bound(const Problem& problem) {
+  const std::vector<double> max_x = max_expected_products(problem);
+  double bound = 0.0;
+  for (TaskIndex i = 0; i < problem.task_count(); ++i) {
+    double slowest = 0.0;
+    for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
+      slowest = std::max(slowest, problem.platform.time(i, u));
+    }
+    bound += max_x[i] * slowest;
+  }
+  return bound;
+}
+
+std::vector<double> expected_inputs_for(const Problem& problem, const Mapping& mapping,
+                                        double finished_products) {
+  MF_REQUIRE(finished_products >= 0.0, "finished_products must be non-negative");
+  const std::vector<double> x = expected_products(problem, mapping);
+  std::vector<double> inputs;
+  inputs.reserve(problem.app.sources().size());
+  for (TaskIndex src : problem.app.sources()) {
+    inputs.push_back(x[src] * finished_products);
+  }
+  return inputs;
+}
+
+}  // namespace mf::core

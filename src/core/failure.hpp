@@ -1,0 +1,45 @@
+// Failure model of Section 3.3.
+//
+// Failures are transient and attached to the couple (task, machine): while
+// task T_i runs on machine M_u, the product is lost with probability
+// f_{i,u} = l_{i,u} / b_{i,u} (l products lost per batch of b processed).
+// Products are physical, so a loss cannot be repaired by replication — the
+// only remedy is to feed more products in. This header provides the ratio
+// representation and the survival arithmetic shared by the evaluator, the
+// heuristics and the exact solvers.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace mf::core {
+
+/// Empirical failure ratio l/b, the paper's native representation
+/// (Section 3.3): l_{i,u} products lost for every batch of b_{i,u}.
+struct FailureRatio {
+  std::uint64_t lost = 0;
+  std::uint64_t batch = 1;
+
+  [[nodiscard]] constexpr double rate() const {
+    return batch == 0 ? 1.0 : static_cast<double>(lost) / static_cast<double>(batch);
+  }
+};
+
+/// The paper's F_i = 1 / (1 - f): expected number of attempts (products
+/// consumed) per successful product for a task with failure rate f.
+/// Returns +infinity when f >= 1 (the task can never succeed).
+[[nodiscard]] constexpr double survival_inverse(double failure_rate) {
+  if (failure_rate >= 1.0) return __builtin_huge_val();
+  MF_REQUIRE(failure_rate >= 0.0, "failure rate must be non-negative");
+  return 1.0 / (1.0 - failure_rate);
+}
+
+/// Probability that a product survives a whole downstream pipeline whose
+/// per-stage failure rates multiply: prod (1 - f_j).
+[[nodiscard]] constexpr double chain_survival(double acc, double failure_rate) {
+  MF_REQUIRE(failure_rate >= 0.0 && failure_rate <= 1.0, "failure rate out of [0,1]");
+  return acc * (1.0 - failure_rate);
+}
+
+}  // namespace mf::core

@@ -1,0 +1,48 @@
+// Plain-text serialization of problem instances and mappings.
+//
+// Calibration campaigns on a real micro-factory produce (w, f) tables that
+// need to travel between tools; this module defines a small line-oriented
+// format for that purpose. It is deliberately trivial to parse from any
+// language:
+//
+//   microfactory-problem v1
+//   n <tasks> m <machines> p <types>
+//   types <t_0> ... <t_{n-1}>
+//   successors <s_0> ... <s_{n-1}>      # '-' marks a sink
+//   w <row for task 0: m values> ...    # one line per task, ms
+//   f <row for task 0: m values> ...    # one line per task, rates
+//
+//   microfactory-mapping v1
+//   a <a_0> ... <a_{n-1}>               # machine index per task
+//
+// Reading validates everything the in-memory constructors validate, so a
+// loaded problem is exactly as trustworthy as a built one.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+
+namespace mf::core {
+
+/// Serializes a problem instance to the v1 text format.
+[[nodiscard]] std::string to_text(const Problem& problem);
+/// Serializes a mapping to the v1 text format.
+[[nodiscard]] std::string to_text(const Mapping& mapping);
+
+/// Parses a problem instance; throws std::invalid_argument with a
+/// line-specific message on malformed input.
+[[nodiscard]] Problem problem_from_text(const std::string& text);
+/// Parses a mapping (its length is validated against the problem by the
+/// first use, not by the parser).
+[[nodiscard]] Mapping mapping_from_text(const std::string& text);
+
+/// File helpers (throw std::invalid_argument on I/O failure).
+void save_problem(const Problem& problem, const std::string& path);
+[[nodiscard]] Problem load_problem(const std::string& path);
+void save_mapping(const Mapping& mapping, const std::string& path);
+[[nodiscard]] Mapping load_mapping(const std::string& path);
+
+}  // namespace mf::core

@@ -1,0 +1,82 @@
+#include "core/mapping.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace mf::core {
+
+std::string to_string(MappingRule rule) {
+  switch (rule) {
+    case MappingRule::kOneToOne:
+      return "one-to-one";
+    case MappingRule::kSpecialized:
+      return "specialized";
+    case MappingRule::kGeneral:
+      return "general";
+  }
+  return "unknown";
+}
+
+Mapping::Mapping(std::vector<MachineIndex> assignment) : assignment_(std::move(assignment)) {}
+
+MachineIndex Mapping::machine_of(TaskIndex i) const {
+  MF_REQUIRE(i < assignment_.size(), "task index out of range");
+  return assignment_[i];
+}
+
+bool Mapping::is_complete(std::size_t machine_count) const noexcept {
+  if (assignment_.empty()) return false;
+  for (MachineIndex u : assignment_) {
+    if (u >= machine_count) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<TaskIndex>> Mapping::tasks_per_machine(std::size_t machine_count) const {
+  MF_REQUIRE(is_complete(machine_count), "mapping incomplete or out of range");
+  std::vector<std::vector<TaskIndex>> buckets(machine_count);
+  for (TaskIndex i = 0; i < assignment_.size(); ++i) buckets[assignment_[i]].push_back(i);
+  return buckets;
+}
+
+bool Mapping::complies_with(MappingRule rule, const Application& app,
+                            std::size_t machine_count) const {
+  MF_REQUIRE(app.task_count() == assignment_.size(), "mapping/application size mismatch");
+  if (!is_complete(machine_count)) return false;
+  if (rule == MappingRule::kGeneral) return true;
+
+  // Track per machine: the single type it serves (specialized), or the
+  // single task (one-to-one).
+  std::vector<TypeIndex> machine_type(machine_count, kNoTask);
+  std::vector<std::size_t> machine_load(machine_count, 0);
+  for (TaskIndex i = 0; i < assignment_.size(); ++i) {
+    const MachineIndex u = assignment_[i];
+    ++machine_load[u];
+    if (rule == MappingRule::kOneToOne && machine_load[u] > 1) return false;
+    const TypeIndex t = app.type_of(i);
+    if (machine_type[u] == kNoTask) {
+      machine_type[u] = t;
+    } else if (machine_type[u] != t) {
+      // Violates specialization; also violates one-to-one (load > 1).
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Mapping::describe(const Application& app) const {
+  std::ostringstream os;
+  for (TaskIndex i = 0; i < assignment_.size(); ++i) {
+    if (i) os << ", ";
+    os << "T" << i + 1 << "(type " << app.type_of(i) << ")->M";
+    if (assignment_[i] == kUnassigned) {
+      os << "?";
+    } else {
+      os << assignment_[i] + 1;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mf::core

@@ -1,0 +1,62 @@
+// Allocation functions and the three "rules of the game" of Section 4.2.
+//
+// A mapping assigns every task to exactly one machine. The three rule sets:
+//   * OneToOne    — a machine processes at most one task (Section 4.2.1);
+//   * Specialized — a machine processes tasks of at most one type
+//                   (Section 4.2.2; the practically relevant case, because
+//                   reconfiguring a cell between types is unaffordable);
+//   * General     — no constraint (Section 4.2.3).
+// Every one-to-one mapping is specialized and every specialized mapping is
+// general, which `complies_with` reflects.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/platform.hpp"
+#include "core/types.hpp"
+
+namespace mf::core {
+
+enum class MappingRule {
+  kOneToOne,
+  kSpecialized,
+  kGeneral,
+};
+
+[[nodiscard]] std::string to_string(MappingRule rule);
+
+class Mapping {
+ public:
+  Mapping() = default;
+  /// `assignment[i]` is the machine executing task i (paper's a(i)).
+  explicit Mapping(std::vector<MachineIndex> assignment);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return assignment_.size(); }
+  [[nodiscard]] MachineIndex machine_of(TaskIndex i) const;
+  [[nodiscard]] const std::vector<MachineIndex>& assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// True when every task has a machine within [0, machine_count).
+  [[nodiscard]] bool is_complete(std::size_t machine_count) const noexcept;
+
+  /// Tasks allocated to each machine (index u -> list of tasks).
+  [[nodiscard]] std::vector<std::vector<TaskIndex>> tasks_per_machine(
+      std::size_t machine_count) const;
+
+  /// Checks this mapping against a rule set for the given problem.
+  [[nodiscard]] bool complies_with(MappingRule rule, const Application& app,
+                                   std::size_t machine_count) const;
+
+  [[nodiscard]] std::string describe(const Application& app) const;
+
+  [[nodiscard]] bool operator==(const Mapping&) const = default;
+
+ private:
+  std::vector<MachineIndex> assignment_;
+};
+
+}  // namespace mf::core

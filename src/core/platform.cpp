@@ -1,0 +1,88 @@
+#include "core/platform.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/failure.hpp"
+#include "support/check.hpp"
+
+namespace mf::core {
+
+Platform::Platform(support::Matrix times, support::Matrix failures)
+    : times_(std::move(times)), failures_(std::move(failures)) {
+  MF_REQUIRE(times_.rows() > 0 && times_.cols() > 0, "platform needs tasks and machines");
+  MF_REQUIRE(times_.rows() == failures_.rows() && times_.cols() == failures_.cols(),
+             "time/failure matrix shape mismatch");
+  for (std::size_t i = 0; i < times_.rows(); ++i) {
+    for (std::size_t u = 0; u < times_.cols(); ++u) {
+      MF_REQUIRE(times_.at(i, u) > 0.0 && std::isfinite(times_.at(i, u)),
+                 "processing times must be positive and finite");
+      MF_REQUIRE(failures_.at(i, u) >= 0.0 && failures_.at(i, u) < 1.0,
+                 "failure rates must lie in [0, 1)");
+    }
+  }
+}
+
+Platform Platform::from_type_tables(const Application& app, const support::Matrix& type_times,
+                                    const support::Matrix& type_failures) {
+  MF_REQUIRE(type_times.rows() == app.type_count(), "type_times rows must equal type count");
+  MF_REQUIRE(type_failures.rows() == app.type_count(),
+             "type_failures rows must equal type count");
+  MF_REQUIRE(type_times.cols() == type_failures.cols(), "type table width mismatch");
+  const std::size_t n = app.task_count();
+  const std::size_t m = type_times.cols();
+  support::Matrix w(n, m);
+  support::Matrix f(n, m);
+  for (TaskIndex i = 0; i < n; ++i) {
+    const TypeIndex t = app.type_of(i);
+    for (MachineIndex u = 0; u < m; ++u) {
+      w.at(i, u) = type_times.at(t, u);
+      f.at(i, u) = type_failures.at(t, u);
+    }
+  }
+  return Platform{std::move(w), std::move(f)};
+}
+
+double Platform::attempts_per_success(TaskIndex i, MachineIndex u) const {
+  return survival_inverse(failure(i, u));
+}
+
+bool Platform::has_type_uniform_times(const Application& app) const {
+  MF_REQUIRE(app.task_count() == task_count(), "application/platform size mismatch");
+  for (TypeIndex t = 0; t < app.type_count(); ++t) {
+    const auto& tasks = app.tasks_of_type(t);
+    for (std::size_t k = 1; k < tasks.size(); ++k) {
+      for (MachineIndex u = 0; u < machine_count(); ++u) {
+        if (times_.at(tasks[k], u) != times_.at(tasks[0], u)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Platform::has_type_uniform_failures(const Application& app) const {
+  MF_REQUIRE(app.task_count() == task_count(), "application/platform size mismatch");
+  for (TypeIndex t = 0; t < app.type_count(); ++t) {
+    const auto& tasks = app.tasks_of_type(t);
+    for (std::size_t k = 1; k < tasks.size(); ++k) {
+      for (MachineIndex u = 0; u < machine_count(); ++u) {
+        if (failures_.at(tasks[k], u) != failures_.at(tasks[0], u)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Platform::describe() const {
+  std::ostringstream os;
+  os << "m=" << machine_count() << " machines, n=" << task_count() << " tasks";
+  return os.str();
+}
+
+Problem::Problem(Application application, Platform plat)
+    : app(std::move(application)), platform(std::move(plat)) {
+  MF_REQUIRE(app.task_count() == platform.task_count(),
+             "application and platform disagree on task count");
+}
+
+}  // namespace mf::core

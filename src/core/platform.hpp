@@ -1,0 +1,71 @@
+// Target platform of Section 3.2: m fully-interconnected machines (cells).
+//
+// Machine M_u processes task T_i on one product in w_{i,u} milliseconds and
+// loses the product with probability f_{i,u}. Execution times are
+// type-uniform (two tasks of the same type take the same time on a given
+// machine — they are the same physical operation); failure rates follow the
+// same convention in the paper's experiments but the model accepts general
+// per-task rates, which Section 7.2 uses (f_{i,u} = f_i).
+// Communication time between machines is neglected (Section 3.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/application.hpp"
+#include "core/types.hpp"
+#include "support/matrix.hpp"
+
+namespace mf::core {
+
+class Platform {
+ public:
+  /// `times` and `failures` are task x machine matrices (n rows, m cols).
+  /// Requires every w > 0 and every f in [0, 1).
+  Platform(support::Matrix times, support::Matrix failures);
+
+  /// Convenience: type-indexed construction. `type_times`/`type_failures`
+  /// are p x m matrices; row t(i) is replicated for every task of type t,
+  /// which guarantees type-uniformity by construction.
+  [[nodiscard]] static Platform from_type_tables(const Application& app,
+                                                 const support::Matrix& type_times,
+                                                 const support::Matrix& type_failures);
+
+  [[nodiscard]] std::size_t machine_count() const noexcept { return times_.cols(); }
+  [[nodiscard]] std::size_t task_count() const noexcept { return times_.rows(); }
+
+  /// w_{i,u}: time (ms) for machine u to process task i on one product.
+  [[nodiscard]] double time(TaskIndex i, MachineIndex u) const { return times_.at(i, u); }
+  /// f_{i,u}: probability the product is lost while task i runs on u.
+  [[nodiscard]] double failure(TaskIndex i, MachineIndex u) const { return failures_.at(i, u); }
+  /// F_{i,u} = 1/(1-f_{i,u}): expected products consumed per success.
+  [[nodiscard]] double attempts_per_success(TaskIndex i, MachineIndex u) const;
+
+  /// Checks the Section 3.2 type-uniformity constraint
+  /// t(i)=t(i') => w_{i,u}=w_{i',u} against an application.
+  [[nodiscard]] bool has_type_uniform_times(const Application& app) const;
+  /// Same check for failure rates (holds for the specialized-mapping
+  /// experiments; deliberately *not* enforced, see Section 7.2).
+  [[nodiscard]] bool has_type_uniform_failures(const Application& app) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  support::Matrix times_;
+  support::Matrix failures_;
+};
+
+/// A problem instance: the application plus a platform with matching task
+/// dimension. All solvers and heuristics take a `Problem`.
+struct Problem {
+  Application app;
+  Platform platform;
+
+  Problem(Application application, Platform plat);
+
+  [[nodiscard]] std::size_t task_count() const noexcept { return app.task_count(); }
+  [[nodiscard]] std::size_t machine_count() const noexcept { return platform.machine_count(); }
+  [[nodiscard]] std::size_t type_count() const noexcept { return app.type_count(); }
+};
+
+}  // namespace mf::core

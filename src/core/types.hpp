@@ -1,0 +1,24 @@
+// Fundamental index types of the micro-factory model.
+//
+// Tasks, machines and task types are dense 0-based indices. We keep them as
+// plain size_t aliases (the arithmetic between them is pervasive and the
+// model is small enough that strong types would add noise, cf. Core
+// Guidelines P.5 "prefer compile-time checking" balanced against ES.107).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace mf::core {
+
+using TaskIndex = std::size_t;     ///< 0-based task id; paper's T_{i+1}
+using MachineIndex = std::size_t;  ///< 0-based machine id; paper's M_{u+1}
+using TypeIndex = std::size_t;     ///< 0-based task type; paper's type in T
+
+/// Sentinel for "no task" (e.g. the successor of a sink task).
+inline constexpr TaskIndex kNoTask = std::numeric_limits<TaskIndex>::max();
+
+/// Sentinel for "task not mapped to any machine yet".
+inline constexpr MachineIndex kUnassigned = std::numeric_limits<MachineIndex>::max();
+
+}  // namespace mf::core

@@ -1,0 +1,70 @@
+#include "exact/bottleneck_assignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "exact/hopcroft_karp.hpp"
+#include "support/check.hpp"
+
+namespace mf::exact {
+
+namespace {
+
+/// Perfect matching on rows using only edges with cost <= threshold?
+MatchingResult probe(const support::Matrix& cost, double threshold) {
+  BipartiteGraph graph(cost.rows(), cost.cols());
+  for (std::size_t r = 0; r < cost.rows(); ++r) {
+    for (std::size_t c = 0; c < cost.cols(); ++c) {
+      if (cost.at(r, c) <= threshold) graph.add_edge(r, c);
+    }
+  }
+  return maximum_matching(graph);
+}
+
+}  // namespace
+
+BottleneckResult solve_bottleneck_assignment(const support::Matrix& cost) {
+  const std::size_t n = cost.rows();
+  const std::size_t m = cost.cols();
+  MF_REQUIRE(n >= 1, "bottleneck assignment needs at least one row");
+  MF_REQUIRE(n <= m, "bottleneck assignment requires rows <= cols");
+
+  std::vector<double> values;
+  values.reserve(n * m);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      MF_REQUIRE(std::isfinite(cost.at(r, c)), "costs must be finite");
+      values.push_back(cost.at(r, c));
+    }
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  // Binary search the smallest threshold admitting a perfect matching.
+  std::size_t lo = 0;
+  std::size_t hi = values.size() - 1;
+  MF_REQUIRE(probe(cost, values[hi]).size == n,
+             "no perfect matching even with all edges (should be impossible)");
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (probe(cost, values[mid]).size == n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  const MatchingResult matching = probe(cost, values[lo]);
+  MF_CHECK(matching.size == n, "threshold search lost feasibility");
+  BottleneckResult result;
+  result.bottleneck_cost = values[lo];
+  result.row_to_col.assign(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    MF_CHECK(matching.left_match[r] != MatchingResult::npos, "row left unmatched");
+    result.row_to_col[r] = matching.left_match[r];
+  }
+  return result;
+}
+
+}  // namespace mf::exact

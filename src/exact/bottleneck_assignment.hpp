@@ -1,0 +1,25 @@
+// Linear bottleneck assignment: match every row to a distinct column
+// minimizing the *maximum* selected cost (not the sum).
+//
+// This is the exact structure of the one-to-one mapping problem when the
+// failure rates do not depend on the machine (f_{i,u} = f_i, the Section 7.2
+// setting): the x_i are then mapping-independent and the period of a
+// one-to-one mapping is max_i x_i * w_{i,a(i)} — a bottleneck assignment on
+// costs c(i,u) = x_i * w_{i,u}. Solved by binary search on the sorted
+// distinct costs with a Hopcroft-Karp feasibility probe per step.
+#pragma once
+
+#include "exact/hungarian.hpp"
+#include "support/matrix.hpp"
+
+namespace mf::exact {
+
+struct BottleneckResult {
+  std::vector<std::size_t> row_to_col;
+  double bottleneck_cost = 0.0;  ///< the minimized maximum edge cost
+};
+
+/// Requires cost.rows() <= cost.cols(); all costs finite.
+[[nodiscard]] BottleneckResult solve_bottleneck_assignment(const support::Matrix& cost);
+
+}  // namespace mf::exact

@@ -1,0 +1,74 @@
+#include "exact/brute_force.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace mf::exact {
+
+using core::MachineIndex;
+using core::MappingRule;
+using core::TaskIndex;
+using core::TypeIndex;
+
+namespace {
+
+struct Enumerator {
+  const core::Problem& problem;
+  MappingRule rule;
+  std::vector<MachineIndex> assignment;
+  std::vector<TypeIndex> machine_type;     // specialized bookkeeping
+  std::vector<std::uint8_t> machine_used;  // one-to-one bookkeeping
+  BruteForceResult best;
+
+  explicit Enumerator(const core::Problem& p, MappingRule r)
+      : problem(p),
+        rule(r),
+        assignment(p.task_count(), core::kUnassigned),
+        machine_type(p.machine_count(), core::kNoTask),
+        machine_used(p.machine_count(), 0) {}
+
+  void recurse(std::size_t depth) {
+    if (depth == problem.task_count()) {
+      core::Mapping mapping{assignment};
+      const double period = core::period(problem, mapping);
+      ++best.evaluated;
+      if (!best.mapping.has_value() || period < best.period) {
+        best.mapping = std::move(mapping);
+        best.period = period;
+      }
+      return;
+    }
+    const TaskIndex i = depth;
+    const TypeIndex t = problem.app.type_of(i);
+    for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
+      if (rule == MappingRule::kOneToOne && machine_used[u]) continue;
+      if (rule == MappingRule::kSpecialized && machine_type[u] != core::kNoTask &&
+          machine_type[u] != t) {
+        continue;
+      }
+      const TypeIndex saved_type = machine_type[u];
+      assignment[i] = u;
+      machine_used[u] = 1;
+      if (rule == MappingRule::kSpecialized) machine_type[u] = t;
+      recurse(depth + 1);
+      assignment[i] = core::kUnassigned;
+      machine_used[u] = 0;
+      machine_type[u] = saved_type;
+    }
+  }
+};
+
+}  // namespace
+
+BruteForceResult brute_force_optimal(const core::Problem& problem, MappingRule rule) {
+  if (rule == MappingRule::kOneToOne) {
+    MF_REQUIRE(problem.task_count() <= problem.machine_count(),
+               "one-to-one enumeration requires n <= m");
+  }
+  Enumerator enumerator(problem, rule);
+  enumerator.recurse(0);
+  return std::move(enumerator.best);
+}
+
+}  // namespace mf::exact

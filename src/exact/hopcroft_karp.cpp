@@ -1,0 +1,91 @@
+#include "exact/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace mf::exact {
+
+BipartiteGraph::BipartiteGraph(std::size_t left_count, std::size_t right_count)
+    : adjacency_(left_count), right_count_(right_count) {}
+
+void BipartiteGraph::add_edge(std::size_t left, std::size_t right) {
+  MF_REQUIRE(left < adjacency_.size(), "left vertex out of range");
+  MF_REQUIRE(right < right_count_, "right vertex out of range");
+  adjacency_[left].push_back(right);
+}
+
+const std::vector<std::size_t>& BipartiteGraph::neighbors(std::size_t left) const {
+  MF_REQUIRE(left < adjacency_.size(), "left vertex out of range");
+  return adjacency_[left];
+}
+
+namespace {
+
+constexpr std::size_t kNpos = MatchingResult::npos;
+constexpr std::size_t kInfDist = std::numeric_limits<std::size_t>::max();
+
+struct HkState {
+  const BipartiteGraph& graph;
+  std::vector<std::size_t>& left_match;
+  std::vector<std::size_t>& right_match;
+  std::vector<std::size_t> dist;
+
+  bool bfs() {
+    std::queue<std::size_t> queue;
+    dist.assign(graph.left_count(), kInfDist);
+    for (std::size_t l = 0; l < graph.left_count(); ++l) {
+      if (left_match[l] == kNpos) {
+        dist[l] = 0;
+        queue.push(l);
+      }
+    }
+    bool reachable_free_right = false;
+    while (!queue.empty()) {
+      const std::size_t l = queue.front();
+      queue.pop();
+      for (std::size_t r : graph.neighbors(l)) {
+        const std::size_t owner = right_match[r];
+        if (owner == kNpos) {
+          reachable_free_right = true;
+        } else if (dist[owner] == kInfDist) {
+          dist[owner] = dist[l] + 1;
+          queue.push(owner);
+        }
+      }
+    }
+    return reachable_free_right;
+  }
+
+  bool dfs(std::size_t l) {
+    for (std::size_t r : graph.neighbors(l)) {
+      const std::size_t owner = right_match[r];
+      if (owner == kNpos || (dist[owner] == dist[l] + 1 && dfs(owner))) {
+        left_match[l] = r;
+        right_match[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInfDist;
+    return false;
+  }
+};
+
+}  // namespace
+
+MatchingResult maximum_matching(const BipartiteGraph& graph) {
+  MatchingResult result;
+  result.left_match.assign(graph.left_count(), kNpos);
+  result.right_match.assign(graph.right_count(), kNpos);
+
+  HkState state{graph, result.left_match, result.right_match, {}};
+  while (state.bfs()) {
+    for (std::size_t l = 0; l < graph.left_count(); ++l) {
+      if (result.left_match[l] == kNpos && state.dfs(l)) ++result.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace mf::exact

@@ -1,0 +1,40 @@
+// Hopcroft-Karp maximum bipartite matching in O(E sqrt(V)).
+//
+// Substrate for the bottleneck assignment solver: deciding whether all
+// tasks can be matched to distinct machines using only edges below a cost
+// threshold is a maximum-matching query.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mf::exact {
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t left_count, std::size_t right_count);
+
+  void add_edge(std::size_t left, std::size_t right);
+
+  [[nodiscard]] std::size_t left_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t right_count() const noexcept { return right_count_; }
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(std::size_t left) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::size_t right_count_;
+};
+
+struct MatchingResult {
+  std::size_t size = 0;
+  /// left_match[l] = matched right vertex, or npos when unmatched.
+  std::vector<std::size_t> left_match;
+  /// right_match[r] = matched left vertex, or npos when unmatched.
+  std::vector<std::size_t> right_match;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+[[nodiscard]] MatchingResult maximum_matching(const BipartiteGraph& graph);
+
+}  // namespace mf::exact

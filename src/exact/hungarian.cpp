@@ -1,0 +1,80 @@
+#include "exact/hungarian.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace mf::exact {
+
+AssignmentResult solve_assignment(const support::Matrix& cost) {
+  const std::size_t n = cost.rows();
+  const std::size_t m = cost.cols();
+  MF_REQUIRE(n >= 1, "assignment needs at least one row");
+  MF_REQUIRE(n <= m, "assignment requires rows <= cols");
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      MF_REQUIRE(std::isfinite(cost.at(r, c)), "assignment costs must be finite");
+    }
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // 1-based arrays as in the classical formulation; index 0 is a sentinel.
+  std::vector<double> u(n + 1, 0.0);   // row potentials
+  std::vector<double> v(m + 1, 0.0);   // column potentials
+  std::vector<std::size_t> match(m + 1, 0);  // match[c] = row matched to column c
+  std::vector<std::size_t> way(m + 1, 0);    // augmenting-path back-pointers
+
+  for (std::size_t r = 1; r <= n; ++r) {
+    match[0] = r;
+    std::size_t j0 = 0;  // current column on the alternating path
+    std::vector<double> min_v(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double reduced = cost.at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (reduced < min_v[j]) {
+          min_v[j] = reduced;
+          way[j] = j0;
+        }
+        if (min_v[j] < delta) {
+          delta = min_v[j];
+          j1 = j;
+        }
+      }
+      MF_CHECK(delta < kInf, "no augmenting path found");
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          min_v[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Unwind the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.row_to_col.assign(n, 0);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (match[j] != 0) result.row_to_col[match[j] - 1] = j - 1;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    result.total_cost += cost.at(r, result.row_to_col[r]);
+  }
+  return result;
+}
+
+}  // namespace mf::exact

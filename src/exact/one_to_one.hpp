@@ -1,0 +1,43 @@
+// Optimal one-to-one mappings for the polynomial cases of Section 5.1.
+//
+// Two tractable islands exist in the complexity landscape:
+//   * Theorem 1 — linear chain + homogeneous machines (w_{i,u} = w): the
+//     period is governed by the head task, so minimizing the product of the
+//     F_j = 1/(1-f_{j,a(j)}) suffices; taking -log(1-f) edge costs turns it
+//     into a minimum-weight bipartite matching (Hungarian method).
+//   * Machine-independent failures (f_{i,u} = f_i, used by Figure 9's "OtO"
+//     curve): the x_i are then fixed regardless of the mapping and the
+//     one-to-one period is max_i x_i w_{i,a(i)} — a bottleneck assignment.
+// Both functions verify their precondition and throw std::invalid_argument
+// when the instance is outside the tractable case.
+#pragma once
+
+#include "core/evaluation.hpp"
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+
+namespace mf::exact {
+
+struct OneToOneSolution {
+  core::Mapping mapping;
+  double period = 0.0;
+};
+
+/// True when all processing times are equal (Theorem 1's precondition).
+[[nodiscard]] bool has_homogeneous_times(const core::Problem& problem);
+
+/// True when f_{i,u} is the same for every machine u.
+[[nodiscard]] bool has_machine_independent_failures(const core::Problem& problem);
+
+/// Theorem 1: optimal one-to-one mapping of a linear chain on homogeneous
+/// machines, via Hungarian matching on costs -log(1 - f_{i,u}).
+/// Requires n <= m, a linear chain, and homogeneous times.
+[[nodiscard]] OneToOneSolution optimal_one_to_one_homogeneous(const core::Problem& problem);
+
+/// Optimal one-to-one mapping when failures are machine-independent
+/// (f_{i,u} = f_i): bottleneck assignment on costs x_i * w_{i,u}.
+/// Requires n <= m and machine-independent failures. This is the "OtO"
+/// reference of Figure 9.
+[[nodiscard]] OneToOneSolution optimal_one_to_one_task_failures(const core::Problem& problem);
+
+}  // namespace mf::exact

@@ -1,0 +1,244 @@
+#include "exact/specialized_bnb.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/failure.hpp"
+#include "heuristics/binary_search.hpp"
+#include "heuristics/h4_family.hpp"
+#include "support/check.hpp"
+
+namespace mf::exact {
+
+using core::MachineIndex;
+using core::TaskIndex;
+using core::TypeIndex;
+
+namespace {
+
+struct Searcher {
+  const core::Problem& problem;
+  const BnBOptions& options;
+  // Assignment order: the shared backward traversal.
+  const std::vector<TaskIndex>& order;
+
+  // Per-task minima over machines (optimistic completion ingredients).
+  std::vector<double> min_attempts;  // min_u 1/(1-f_{i,u})
+  std::vector<double> min_time;      // min_u w_{i,u}
+
+  // Mutable search state.
+  std::vector<MachineIndex> assignment;
+  std::vector<double> x;      // expected products, valid for assigned tasks
+  std::vector<double> loads;  // per machine
+  std::vector<TypeIndex> machine_type;
+  std::size_t free_machines;
+  std::size_t types_to_go;
+  std::vector<std::size_t> type_machine_count;
+  double committed_load_sum = 0.0;
+
+  BnBResult result;
+  double incumbent = std::numeric_limits<double>::infinity();
+  std::vector<MachineIndex> incumbent_assignment;
+  bool budget_exhausted = false;
+
+  Searcher(const core::Problem& p, const BnBOptions& opts)
+      : problem(p),
+        options(opts),
+        order(p.app.backward_order()),
+        min_attempts(p.task_count()),
+        min_time(p.task_count()),
+        assignment(p.task_count(), core::kUnassigned),
+        x(p.task_count(), 0.0),
+        loads(p.machine_count(), 0.0),
+        machine_type(p.machine_count(), core::kNoTask),
+        free_machines(p.machine_count()),
+        types_to_go(p.type_count()),
+        type_machine_count(p.type_count(), 0) {
+    for (TaskIndex i = 0; i < p.task_count(); ++i) {
+      double best_f = std::numeric_limits<double>::infinity();
+      double best_w = std::numeric_limits<double>::infinity();
+      for (MachineIndex u = 0; u < p.machine_count(); ++u) {
+        best_f = std::min(best_f, core::survival_inverse(p.platform.failure(i, u)));
+        best_w = std::min(best_w, p.platform.time(i, u));
+      }
+      min_attempts[i] = best_f;
+      min_time[i] = best_w;
+    }
+  }
+
+  [[nodiscard]] double downstream_products(TaskIndex i) const {
+    const TaskIndex succ = problem.app.successor(i);
+    return succ == core::kNoTask ? 1.0 : x[succ];
+  }
+
+  [[nodiscard]] bool allowed(TypeIndex t, MachineIndex u) const {
+    const TypeIndex current = machine_type[u];
+    if (current == t) return true;
+    if (current != core::kNoTask) return false;
+    if (type_machine_count[t] == 0) return true;
+    return free_machines > types_to_go;  // reserve machines for unseen types
+  }
+
+  /// Lower bound on the best complete period below this node.
+  [[nodiscard]] double lower_bound(std::size_t depth) const {
+    double bound = *std::max_element(loads.begin(), loads.end());
+
+    // Optimistic x for remaining tasks: successors in backward order are
+    // either assigned (exact x) or computed earlier in this very loop.
+    double optimistic_work = 0.0;
+    double best_single = 0.0;
+    std::vector<double> opt_x(problem.task_count(), 0.0);
+    for (std::size_t d = depth; d < order.size(); ++d) {
+      const TaskIndex i = order[d];
+      const TaskIndex succ = problem.app.successor(i);
+      double downstream = 1.0;
+      if (succ != core::kNoTask) {
+        downstream = assignment[succ] == core::kUnassigned ? opt_x[succ] : x[succ];
+      }
+      opt_x[i] = downstream * min_attempts[i];
+      const double increment = opt_x[i] * min_time[i];
+      optimistic_work += increment;
+      best_single = std::max(best_single, increment);
+    }
+    // Average bound: even perfectly balanced, the max load is at least the
+    // mean of total committed + optimistic remaining work.
+    const double average_bound =
+        (committed_load_sum + optimistic_work) / static_cast<double>(loads.size());
+    return std::max({bound, average_bound, best_single});
+  }
+
+  void search(std::size_t depth) {
+    if (budget_exhausted) return;
+    ++result.nodes;
+    if (options.max_nodes != 0 && result.nodes > options.max_nodes) {
+      budget_exhausted = true;
+      return;
+    }
+    if (depth == order.size()) {
+      const double period = *std::max_element(loads.begin(), loads.end());
+      if (period < incumbent) {
+        incumbent = period;
+        incumbent_assignment = assignment;
+      }
+      return;
+    }
+    if (lower_bound(depth) >= incumbent) return;
+
+    const TaskIndex i = order[depth];
+    const TypeIndex t = problem.app.type_of(i);
+    const double x_base = downstream_products(i);
+
+    // Candidate machines sorted by resulting load: good incumbents early.
+    struct Candidate {
+      MachineIndex machine;
+      double resulting_load;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(problem.machine_count());
+    bool considered_free = false;
+    for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
+      if (!allowed(t, u)) continue;
+      // Free machines with identical (w, f) columns for type t are
+      // interchangeable; trying one representative per load profile would
+      // be an optimization, but loads differ once tasks are placed. We only
+      // collapse the exactly-equivalent case: several *empty* machines with
+      // equal w and f for this task.
+      if (machine_type[u] == core::kNoTask && loads[u] == 0.0) {
+        bool duplicate = false;
+        if (considered_free) {
+          for (const Candidate& c : candidates) {
+            if (machine_type[c.machine] == core::kNoTask && loads[c.machine] == 0.0 &&
+                problem.platform.time(i, c.machine) == problem.platform.time(i, u) &&
+                problem.platform.failure(i, c.machine) == problem.platform.failure(i, u)) {
+              duplicate = true;
+              break;
+            }
+          }
+        }
+        considered_free = true;
+        if (duplicate) continue;
+      }
+      const double xi = x_base * problem.platform.attempts_per_success(i, u);
+      candidates.push_back({u, loads[u] + xi * problem.platform.time(i, u)});
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.resulting_load < b.resulting_load;
+                     });
+
+    for (const Candidate& candidate : candidates) {
+      const MachineIndex u = candidate.machine;
+      if (candidate.resulting_load >= incumbent) continue;  // dominated branch
+
+      // Apply.
+      const TypeIndex saved_type = machine_type[u];
+      const double xi = x_base * problem.platform.attempts_per_success(i, u);
+      const double increment = xi * problem.platform.time(i, u);
+      const bool newly_dedicated = saved_type == core::kNoTask;
+      assignment[i] = u;
+      x[i] = xi;
+      loads[u] += increment;
+      committed_load_sum += increment;
+      if (newly_dedicated) {
+        machine_type[u] = t;
+        --free_machines;
+        if (type_machine_count[t] == 0) --types_to_go;
+        ++type_machine_count[t];
+      }
+
+      search(depth + 1);
+
+      // Undo.
+      assignment[i] = core::kUnassigned;
+      loads[u] -= increment;
+      committed_load_sum -= increment;
+      if (newly_dedicated) {
+        machine_type[u] = saved_type;
+        ++free_machines;
+        --type_machine_count[t];
+        if (type_machine_count[t] == 0) ++types_to_go;
+      }
+      if (budget_exhausted) return;
+    }
+  }
+};
+
+}  // namespace
+
+BnBResult solve_specialized_optimal(const core::Problem& problem, const BnBOptions& options) {
+  BnBResult empty;
+  if (problem.type_count() > problem.machine_count()) {
+    empty.proven_optimal = true;  // provably infeasible
+    return empty;
+  }
+
+  Searcher searcher(problem, options);
+
+  if (options.seed_with_heuristics) {
+    support::Rng rng{0};  // deterministic heuristics ignore it
+    heuristics::H2BinarySearchRank h2;
+    heuristics::H4wFastestMachine h4w;
+    for (const heuristics::Heuristic* h :
+         std::initializer_list<const heuristics::Heuristic*>{&h2, &h4w}) {
+      if (auto mapping = h->run(problem, rng)) {
+        const double period = core::period(problem, *mapping);
+        if (period < searcher.incumbent) {
+          searcher.incumbent = period;
+          searcher.incumbent_assignment = mapping->assignment();
+        }
+      }
+    }
+  }
+
+  searcher.search(0);
+
+  searcher.result.proven_optimal = !searcher.budget_exhausted;
+  if (!searcher.incumbent_assignment.empty()) {
+    searcher.result.mapping = core::Mapping{searcher.incumbent_assignment};
+    searcher.result.period = searcher.incumbent;
+  }
+  return searcher.result;
+}
+
+}  // namespace mf::exact

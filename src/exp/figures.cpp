@@ -1,0 +1,141 @@
+#include "exp/figures.hpp"
+
+#include <algorithm>
+
+namespace mf::exp {
+
+namespace {
+
+std::vector<std::size_t> range(std::size_t from, std::size_t to, std::size_t step) {
+  std::vector<std::size_t> values;
+  for (std::size_t v = from; v <= to; v += step) values.push_back(v);
+  return values;
+}
+
+}  // namespace
+
+SweepSpec figure5_spec() {
+  SweepSpec spec;
+  spec.name = "fig05";
+  spec.description = "Specialized mappings, m=50 machines, p=5 types (Figure 5)";
+  spec.base.machines = 50;
+  spec.base.types = 5;
+  spec.variable = SweepVariable::kTasks;
+  spec.values = range(50, 150, 10);
+  spec.methods = all_heuristic_methods();
+  spec.trials = 30;
+  spec.max_trials = 30;
+  spec.base_seed = 0xF1605;
+  return spec;
+}
+
+SweepSpec figure6_spec() {
+  SweepSpec spec;
+  spec.name = "fig06";
+  spec.description = "Specialized mappings, m=10 machines, p=2 types (Figure 6)";
+  spec.base.machines = 10;
+  spec.base.types = 2;
+  spec.variable = SweepVariable::kTasks;
+  spec.values = range(10, 100, 10);
+  spec.methods = heuristic_methods({"H2", "H3", "H4", "H4w"});
+  spec.trials = 30;
+  spec.max_trials = 30;
+  spec.base_seed = 0xF1606;
+  return spec;
+}
+
+SweepSpec figure7_spec() {
+  SweepSpec spec;
+  spec.name = "fig07";
+  spec.description = "Specialized mappings, m=100 machines, p=5 types (Figure 7)";
+  spec.base.machines = 100;
+  spec.base.types = 5;
+  spec.variable = SweepVariable::kTasks;
+  spec.values = range(100, 200, 10);
+  spec.methods = heuristic_methods({"H2", "H3", "H4w"});
+  spec.trials = 30;
+  spec.max_trials = 30;
+  spec.base_seed = 0xF1607;
+  return spec;
+}
+
+SweepSpec figure8_spec() {
+  SweepSpec spec;
+  spec.name = "fig08";
+  spec.description =
+      "High failure rates (0 <= f <= 10%), m=10 machines, p=5 types (Figure 8)";
+  spec.base.machines = 10;
+  spec.base.types = 5;
+  spec.base.failure_min = 0.0;
+  spec.base.failure_max = 0.10;
+  spec.variable = SweepVariable::kTasks;
+  spec.values = range(10, 100, 10);
+  spec.methods = all_heuristic_methods();
+  spec.trials = 30;
+  spec.max_trials = 30;
+  spec.base_seed = 0xF1608;
+  return spec;
+}
+
+SweepSpec figure9_spec() {
+  SweepSpec spec;
+  spec.name = "fig09";
+  spec.description =
+      "One-to-one optimum vs heuristics, m=100, n=100, f_{i,u}=f_i (Figure 9)";
+  spec.base.machines = 100;
+  spec.base.tasks = 100;
+  spec.base.failure_attachment = FailureAttachment::kTaskOnly;
+  spec.variable = SweepVariable::kTypes;
+  spec.values = range(20, 100, 10);
+  spec.methods = heuristic_methods({"H2", "H3", "H4w"});
+  spec.methods.push_back(method_optimal_one_to_one());
+  spec.trials = 100;  // "run 100 simulations for each dot of the figure"
+  spec.max_trials = 100;
+  spec.base_seed = 0xF1609;
+  return spec;
+}
+
+SweepSpec figure10_spec() {
+  SweepSpec spec;
+  spec.name = "fig10";
+  spec.description = "Heuristics vs exact optimum (MIP), m=5, p=2 (Figure 10)";
+  spec.base.machines = 5;
+  spec.base.types = 2;
+  spec.variable = SweepVariable::kTasks;
+  spec.values = range(2, 16, 2);
+  spec.methods = all_heuristic_methods();
+  spec.methods.push_back(method_exact_specialized(kFigureExactNodeBudget));
+  spec.trials = 30;
+  spec.max_trials = 60;  // the paper's 30-successes-out-of-60 protocol
+  spec.base_seed = 0xF1610;
+  return spec;
+}
+
+SweepSpec figure12_spec() {
+  SweepSpec spec;
+  spec.name = "fig12";
+  spec.description = "Heuristics vs exact optimum (MIP), m=9, p=4 (Figure 12)";
+  spec.base.machines = 9;
+  spec.base.types = 4;
+  spec.variable = SweepVariable::kTasks;
+  spec.values = range(4, 20, 2);
+  spec.methods = heuristic_methods({"H2", "H3", "H4", "H4w"});
+  spec.methods.push_back(method_exact_specialized(kFigureExactNodeBudget));
+  spec.trials = 30;
+  spec.max_trials = 60;
+  spec.base_seed = 0xF1612;
+  return spec;
+}
+
+std::vector<SweepSpec> all_figure_specs() {
+  return {figure5_spec(), figure6_spec(),  figure7_spec(), figure8_spec(),
+          figure9_spec(), figure10_spec(), figure12_spec()};
+}
+
+SweepSpec scaled_down(SweepSpec spec, std::size_t factor) {
+  spec.trials = std::max<std::size_t>(1, spec.trials / factor);
+  spec.max_trials = std::max<std::size_t>(spec.trials, spec.max_trials / factor);
+  return spec;
+}
+
+}  // namespace mf::exp

@@ -1,0 +1,40 @@
+// One SweepSpec per figure of Section 7, with the paper's exact parameters.
+//
+//   fig05: m=50,  p=5, n=50..150,  all six heuristics           (Figure 5)
+//   fig06: m=10,  p=2, n=10..100,  H2 H3 H4 H4w                 (Figure 6)
+//   fig07: m=100, p=5, n=100..200, H2 H3 H4w                    (Figure 7)
+//   fig08: m=10,  p=5, n=10..100,  f in [0,10%], all six        (Figure 8)
+//   fig09: m=n=100, p=20..100, f_{i,u}=f_i, H2 H3 H4w + OtO     (Figure 9)
+//   fig10: m=5,   p=2, n=2..16,   all six + exact ("MIP")       (Figure 10)
+//   fig12: m=9,   p=4, n=4..20,   H2 H3 H4 H4w + exact          (Figure 12)
+// Figure 11 is Figure 10 normalized to the exact optimum and is derived
+// from fig10's result via SweepResult::mean_ratio_to / ratio tables.
+#pragma once
+
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace mf::exp {
+
+/// Node budget for the exact specialized solver when standing in for the
+/// paper's CPLEX MIP in figure sweeps.
+inline constexpr std::uint64_t kFigureExactNodeBudget = 5'000'000;
+
+[[nodiscard]] SweepSpec figure5_spec();
+[[nodiscard]] SweepSpec figure6_spec();
+[[nodiscard]] SweepSpec figure7_spec();
+[[nodiscard]] SweepSpec figure8_spec();
+[[nodiscard]] SweepSpec figure9_spec();
+[[nodiscard]] SweepSpec figure10_spec();
+[[nodiscard]] SweepSpec figure12_spec();
+
+/// All figure sweeps in paper order (Figure 11 derives from Figure 10).
+[[nodiscard]] std::vector<SweepSpec> all_figure_specs();
+
+/// Scales trial counts down by `factor` (at least 1 trial per point); used
+/// by smoke tests and quick bench runs. The default benches run the paper's
+/// full trial counts.
+[[nodiscard]] SweepSpec scaled_down(SweepSpec spec, std::size_t factor);
+
+}  // namespace mf::exp

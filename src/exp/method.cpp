@@ -1,0 +1,75 @@
+#include "exp/method.hpp"
+
+#include "exact/one_to_one.hpp"
+#include "exact/specialized_bnb.hpp"
+#include "lp/specialized_mip.hpp"
+
+namespace mf::exp {
+
+Method method_from_heuristic(std::shared_ptr<const heuristics::Heuristic> h) {
+  Method method;
+  method.name = h->name();
+  method.solve = [h = std::move(h)](const core::Problem& problem, support::Rng& rng) {
+    return h->run(problem, rng);
+  };
+  return method;
+}
+
+std::vector<Method> all_heuristic_methods() {
+  std::vector<Method> methods;
+  for (auto& h : heuristics::all_heuristics()) {
+    methods.push_back(method_from_heuristic(std::move(h)));
+  }
+  return methods;
+}
+
+std::vector<Method> heuristic_methods(const std::vector<std::string>& names) {
+  std::vector<Method> methods;
+  methods.reserve(names.size());
+  for (const std::string& name : names) {
+    methods.push_back(method_from_heuristic(heuristics::heuristic_by_name(name)));
+  }
+  return methods;
+}
+
+Method method_optimal_one_to_one() {
+  Method method;
+  method.name = "OtO";
+  method.solve = [](const core::Problem& problem,
+                    support::Rng& /*rng*/) -> std::optional<core::Mapping> {
+    if (problem.task_count() > problem.machine_count()) return std::nullopt;
+    if (!exact::has_machine_independent_failures(problem)) return std::nullopt;
+    return exact::optimal_one_to_one_task_failures(problem).mapping;
+  };
+  return method;
+}
+
+Method method_exact_specialized(std::uint64_t max_nodes) {
+  Method method;
+  method.name = "MIP";
+  method.solve = [max_nodes](const core::Problem& problem,
+                             support::Rng& /*rng*/) -> std::optional<core::Mapping> {
+    exact::BnBOptions options;
+    options.max_nodes = max_nodes;
+    const exact::BnBResult result = exact::solve_specialized_optimal(problem, options);
+    if (!result.proven_optimal || !result.mapping.has_value()) return std::nullopt;
+    return result.mapping;
+  };
+  return method;
+}
+
+Method method_lp_mip(std::uint64_t max_nodes) {
+  Method method;
+  method.name = "LP-MIP";
+  method.solve = [max_nodes](const core::Problem& problem,
+                             support::Rng& /*rng*/) -> std::optional<core::Mapping> {
+    lp::MipOptions options;
+    options.max_nodes = max_nodes;
+    const lp::MipScheduleResult result = lp::solve_specialized_mip(problem, options);
+    if (result.status != lp::MipStatus::kOptimal) return std::nullopt;
+    return result.mapping;
+  };
+  return method;
+}
+
+}  // namespace mf::exp

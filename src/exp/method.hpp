@@ -1,0 +1,50 @@
+// A "method" is anything that maps a problem instance to a period value:
+// one of the six heuristics, the optimal one-to-one solver (Figure 9's
+// "OtO") or the exact specialized solver standing in for the paper's CPLEX
+// MIP (Figures 10-12). The sweep runner treats them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/rng.hpp"
+
+namespace mf::exp {
+
+struct Method {
+  std::string name;
+  /// Returns the mapping found, or nullopt when the method fails on this
+  /// instance (infeasible, or exact-solver budget exhausted).
+  std::function<std::optional<core::Mapping>(const core::Problem&, support::Rng&)> solve;
+};
+
+/// Wraps one of the paper's heuristics.
+[[nodiscard]] Method method_from_heuristic(std::shared_ptr<const heuristics::Heuristic> h);
+
+/// All six heuristics as methods, in paper order.
+[[nodiscard]] std::vector<Method> all_heuristic_methods();
+
+/// Subset by paper names, e.g. {"H2", "H3", "H4w"}.
+[[nodiscard]] std::vector<Method> heuristic_methods(const std::vector<std::string>& names);
+
+/// Optimal one-to-one mapping for machine-independent failures ("OtO").
+[[nodiscard]] Method method_optimal_one_to_one();
+
+/// Exact specialized mapping via branch-and-bound ("MIP"). Fails (nullopt)
+/// when the node budget is exhausted without an optimality proof, mirroring
+/// the paper's CPLEX timeouts on larger instances.
+[[nodiscard]] Method method_exact_specialized(std::uint64_t max_nodes);
+
+/// The literal Section 6.1 MIP solved with the in-repo simplex
+/// branch-and-bound. Much slower than method_exact_specialized; used by the
+/// micro benches and cross-validation tests.
+[[nodiscard]] Method method_lp_mip(std::uint64_t max_nodes);
+
+}  // namespace mf::exp

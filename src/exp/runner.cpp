@@ -1,0 +1,175 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+
+#include "core/evaluation.hpp"
+#include "support/check.hpp"
+
+namespace mf::exp {
+
+std::string to_string(SweepVariable variable) {
+  switch (variable) {
+    case SweepVariable::kTasks:
+      return "number of tasks";
+    case SweepVariable::kTypes:
+      return "number of types";
+    case SweepVariable::kMachines:
+      return "number of machines";
+  }
+  return "?";
+}
+
+namespace {
+
+Scenario scenario_for(const SweepSpec& spec, std::size_t value) {
+  Scenario scenario = spec.base;
+  switch (spec.variable) {
+    case SweepVariable::kTasks:
+      scenario.tasks = value;
+      break;
+    case SweepVariable::kTypes:
+      scenario.types = value;
+      break;
+    case SweepVariable::kMachines:
+      scenario.machines = value;
+      break;
+  }
+  return scenario;
+}
+
+/// Periods of all methods on one instance, or nullopt if any method failed
+/// (the paired-design protocol keeps only trials every method completed).
+std::optional<std::vector<double>> run_trial(const SweepSpec& spec, const Scenario& scenario,
+                                             std::uint64_t seed) {
+  const core::Problem problem = generate(scenario, seed);
+  std::vector<double> periods;
+  periods.reserve(spec.methods.size());
+  for (const Method& method : spec.methods) {
+    support::Rng rng(support::mix_seed(seed, std::hash<std::string>{}(method.name)));
+    const auto mapping = method.solve(problem, rng);
+    if (!mapping.has_value()) return std::nullopt;
+    periods.push_back(core::period(problem, *mapping));
+  }
+  return periods;
+}
+
+}  // namespace
+
+support::Table SweepResult::to_table() const {
+  std::vector<std::string> header{to_string(spec.variable)};
+  for (const Method& method : spec.methods) header.push_back(method.name + " period (ms)");
+  header.push_back("trials");
+  support::Table table(std::move(header));
+  for (const PointResult& point : points) {
+    std::vector<std::string> row{std::to_string(point.sweep_value)};
+    for (const Method& method : spec.methods) {
+      const auto it = point.period_by_method.find(method.name);
+      row.push_back(it == point.period_by_method.end() || it->second.count == 0
+                        ? "-"
+                        : support::format_double(it->second.mean, 1));
+    }
+    row.push_back(std::to_string(point.successes) + "/" + std::to_string(point.attempts));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string SweepResult::to_chart() const {
+  support::AsciiChart chart(to_string(spec.variable), "period (ms)");
+  for (const Method& method : spec.methods) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const PointResult& point : points) {
+      const auto it = point.period_by_method.find(method.name);
+      if (it != point.period_by_method.end() && it->second.count > 0) {
+        xs.push_back(static_cast<double>(point.sweep_value));
+        ys.push_back(it->second.mean);
+      }
+    }
+    if (!xs.empty()) chart.add_series(method.name, std::move(xs), std::move(ys));
+  }
+  return chart.render();
+}
+
+std::map<std::string, double> SweepResult::mean_ratio_to(const std::string& reference) const {
+  std::map<std::string, support::RunningStats> ratios;
+  for (const PointResult& point : points) {
+    const auto ref = point.period_by_method.find(reference);
+    if (ref == point.period_by_method.end() || ref->second.count == 0 ||
+        ref->second.mean <= 0.0) {
+      continue;
+    }
+    for (const auto& [name, summary] : point.period_by_method) {
+      if (name == reference || summary.count == 0) continue;
+      ratios[name].add(summary.mean / ref->second.mean);
+    }
+  }
+  std::map<std::string, double> result;
+  for (const auto& [name, stats] : ratios) result[name] = stats.mean();
+  return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, support::ThreadPool* pool) {
+  MF_REQUIRE(!spec.methods.empty(), "sweep needs at least one method");
+  MF_REQUIRE(!spec.values.empty(), "sweep needs at least one point");
+  MF_REQUIRE(spec.max_trials >= spec.trials, "max_trials must cover trials");
+
+  SweepResult result;
+  result.spec = spec;
+  result.points.reserve(spec.values.size());
+
+  for (std::size_t point_index = 0; point_index < spec.values.size(); ++point_index) {
+    const std::size_t value = spec.values[point_index];
+    const Scenario scenario = scenario_for(spec, value);
+
+    PointResult point;
+    point.sweep_value = value;
+
+    // Draw up to max_trials instances; keep the first `trials` successes.
+    // Trials are independent, so they run in parallel; a mutex serializes
+    // only the cheap aggregation.
+    std::vector<std::optional<std::vector<double>>> outcomes(spec.max_trials);
+    const auto trial_body = [&](std::size_t trial) {
+      const std::uint64_t seed =
+          support::mix_seed(spec.base_seed, (point_index << 20) | trial);
+      outcomes[trial] = run_trial(spec, scenario, seed);
+    };
+
+    // Fast path: if no method can fail we only need `trials` draws.
+    const std::size_t first_batch = spec.trials;
+    if (pool != nullptr) {
+      support::parallel_for(*pool, first_batch, trial_body);
+    } else {
+      for (std::size_t t = 0; t < first_batch; ++t) trial_body(t);
+    }
+    std::size_t drawn = first_batch;
+    std::size_t successes = 0;
+    for (std::size_t t = 0; t < drawn; ++t) successes += outcomes[t].has_value() ? 1 : 0;
+    while (successes < spec.trials && drawn < spec.max_trials) {
+      trial_body(drawn);
+      successes += outcomes[drawn].has_value() ? 1 : 0;
+      ++drawn;
+    }
+
+    std::vector<support::RunningStats> stats(spec.methods.size());
+    std::size_t kept = 0;
+    for (std::size_t t = 0; t < drawn && kept < spec.trials; ++t) {
+      if (!outcomes[t].has_value()) continue;
+      ++kept;
+      for (std::size_t k = 0; k < spec.methods.size(); ++k) {
+        stats[k].add((*outcomes[t])[k]);
+      }
+    }
+    point.attempts = drawn;
+    point.successes = kept;
+    for (std::size_t k = 0; k < spec.methods.size(); ++k) {
+      point.period_by_method[spec.methods[k].name] = stats[k].summary();
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+}  // namespace mf::exp

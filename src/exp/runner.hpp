@@ -1,0 +1,69 @@
+// The sweep runner: regenerates one paper figure.
+//
+// A sweep varies one scenario dimension (n for Figures 5-8 and 10-12, p for
+// Figure 9) over a list of values. For every point it draws `trials`
+// random instances (all methods see the *same* instance — the paired design
+// the paper uses) and averages each method's period. When an exact method
+// is present, the paper only reports points with enough successful exact
+// solves ("results are reported only if 30 successful experiments over 60
+// trials are obtained with the MIP"); `max_trials`/`target_successes`
+// reproduce that protocol. Replications run in parallel over a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/method.hpp"
+#include "exp/scenario.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mf::exp {
+
+enum class SweepVariable { kTasks, kTypes, kMachines };
+
+[[nodiscard]] std::string to_string(SweepVariable variable);
+
+struct SweepSpec {
+  std::string name;         ///< e.g. "fig05"
+  std::string description;  ///< one-line figure caption
+  Scenario base;            ///< sweep variable overridden per point
+  SweepVariable variable = SweepVariable::kTasks;
+  std::vector<std::size_t> values;
+  std::vector<Method> methods;
+
+  std::size_t trials = 30;  ///< successful trials to aggregate per point
+  /// Upper limit on instance draws per point while chasing `trials`
+  /// successes (only matters when a method can fail).
+  std::size_t max_trials = 60;
+  std::uint64_t base_seed = 0xC0FFEE;
+};
+
+struct PointResult {
+  std::size_t sweep_value = 0;
+  /// Per-method period statistics over the successful common trials.
+  std::map<std::string, support::Summary> period_by_method;
+  std::size_t successes = 0;  ///< trials where every method produced a mapping
+  std::size_t attempts = 0;   ///< instances drawn
+};
+
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<PointResult> points;
+
+  /// One row per sweep value, one column per method (mean period in ms).
+  [[nodiscard]] support::Table to_table() const;
+  /// ASCII rendition of the figure.
+  [[nodiscard]] std::string to_chart() const;
+  /// Mean of (method period / reference period) over all points where the
+  /// reference succeeded — the paper's "factor of X from the optimal".
+  [[nodiscard]] std::map<std::string, double> mean_ratio_to(const std::string& reference) const;
+};
+
+/// Runs the sweep; `pool` may be null for serial execution.
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec, support::ThreadPool* pool = nullptr);
+
+}  // namespace mf::exp

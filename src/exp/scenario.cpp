@@ -1,0 +1,150 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/matrix.hpp"
+
+namespace mf::exp {
+
+using core::MachineIndex;
+using core::TaskIndex;
+using core::TypeIndex;
+
+std::string Scenario::describe() const {
+  std::ostringstream os;
+  os << "n=" << tasks << ", m=" << machines << ", p=" << types << ", w in [" << time_min_ms
+     << "," << time_max_ms << "] ms, f in [" << failure_min * 100 << "%," << failure_max * 100
+     << "%]"
+     << (failure_attachment == FailureAttachment::kTaskOnly ? ", f_{i,u}=f_i" : "");
+  return os.str();
+}
+
+namespace {
+
+void validate(const Scenario& s) {
+  MF_REQUIRE(s.tasks >= 1, "scenario needs at least one task");
+  MF_REQUIRE(s.types >= 1 && s.types <= s.tasks, "need 1 <= p <= n");
+  MF_REQUIRE(s.machines >= 1, "scenario needs at least one machine");
+  MF_REQUIRE(s.time_min_ms > 0.0 && s.time_max_ms >= s.time_min_ms, "bad time range");
+  MF_REQUIRE(s.failure_min >= 0.0 && s.failure_max < 1.0 && s.failure_max >= s.failure_min,
+             "bad failure range");
+}
+
+std::vector<TypeIndex> draw_types(const Scenario& s, support::Rng& rng) {
+  // Every type appears at least once; remaining tasks draw uniformly.
+  std::vector<TypeIndex> types(s.tasks);
+  for (std::size_t k = 0; k < s.types; ++k) types[k] = k;
+  for (std::size_t k = s.types; k < s.tasks; ++k) {
+    types[k] = static_cast<TypeIndex>(rng.uniform_u64(0, s.types - 1));
+  }
+  // Shuffle so the mandatory representatives are not clustered at the head.
+  for (std::size_t k = s.tasks; k > 1; --k) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_u64(0, k - 1));
+    std::swap(types[k - 1], types[j]);
+  }
+  return types;
+}
+
+double draw_time(const Scenario& s, support::Rng& rng) {
+  if (s.integer_times) {
+    return static_cast<double>(rng.uniform_u64(static_cast<std::uint64_t>(s.time_min_ms),
+                                               static_cast<std::uint64_t>(s.time_max_ms)));
+  }
+  return rng.uniform(s.time_min_ms, s.time_max_ms);
+}
+
+core::Platform draw_platform(const Scenario& s, const core::Application& app,
+                             support::Rng& rng) {
+  support::Matrix type_times(s.types, s.machines);
+  for (TypeIndex t = 0; t < s.types; ++t) {
+    for (MachineIndex u = 0; u < s.machines; ++u) {
+      type_times.at(t, u) = draw_time(s, rng);
+    }
+  }
+
+  const std::size_t n = app.task_count();
+  support::Matrix w(n, s.machines);
+  support::Matrix f(n, s.machines);
+  for (TaskIndex i = 0; i < n; ++i) {
+    for (MachineIndex u = 0; u < s.machines; ++u) {
+      w.at(i, u) = type_times.at(app.type_of(i), u);
+    }
+  }
+
+  if (s.failure_attachment == FailureAttachment::kTaskOnly) {
+    for (TaskIndex i = 0; i < n; ++i) {
+      const double fi = rng.uniform(s.failure_min, s.failure_max);
+      for (MachineIndex u = 0; u < s.machines; ++u) f.at(i, u) = fi;
+    }
+  } else {
+    support::Matrix type_failures(s.types, s.machines);
+    for (TypeIndex t = 0; t < s.types; ++t) {
+      for (MachineIndex u = 0; u < s.machines; ++u) {
+        type_failures.at(t, u) = rng.uniform(s.failure_min, s.failure_max);
+      }
+    }
+    for (TaskIndex i = 0; i < n; ++i) {
+      for (MachineIndex u = 0; u < s.machines; ++u) {
+        f.at(i, u) = type_failures.at(app.type_of(i), u);
+      }
+    }
+  }
+  return core::Platform{std::move(w), std::move(f)};
+}
+
+}  // namespace
+
+core::Problem generate(const Scenario& scenario, std::uint64_t seed) {
+  validate(scenario);
+  support::Rng rng(seed);
+  core::Application app = core::Application::linear_chain(draw_types(scenario, rng));
+  core::Platform platform = draw_platform(scenario, app, rng);
+  return core::Problem{std::move(app), std::move(platform)};
+}
+
+core::Problem generate_in_tree(const Scenario& scenario, double join_probability,
+                               std::uint64_t seed) {
+  validate(scenario);
+  MF_REQUIRE(join_probability >= 0.0 && join_probability <= 1.0,
+             "join probability out of [0,1]");
+  support::Rng rng(seed);
+  const std::size_t n = scenario.tasks;
+
+  // Build the in-tree backward: task k (for k >= 1) attaches to a uniformly
+  // random already-placed task that can still accept a predecessor. With
+  // probability join_probability we allow attaching to a task that already
+  // has one (creating a join); otherwise we extend a chain tip.
+  std::vector<TaskIndex> successor(n, core::kNoTask);
+  std::vector<std::size_t> in_degree(n, 0);
+  for (TaskIndex k = 1; k < n; ++k) {
+    std::vector<TaskIndex> tips;
+    std::vector<TaskIndex> joinable;
+    for (TaskIndex j = 0; j < k; ++j) {
+      if (in_degree[j] == 0) {
+        tips.push_back(j);
+      } else {
+        joinable.push_back(j);
+      }
+    }
+    TaskIndex target;
+    if (!joinable.empty() && rng.bernoulli(join_probability)) {
+      target = joinable[rng.uniform_u64(0, joinable.size() - 1)];
+    } else if (!tips.empty()) {
+      target = tips[rng.uniform_u64(0, tips.size() - 1)];
+    } else {
+      target = joinable[rng.uniform_u64(0, joinable.size() - 1)];
+    }
+    successor[k] = target;
+    ++in_degree[target];
+  }
+
+  core::Application app =
+      core::Application::from_successors(draw_types(scenario, rng), std::move(successor));
+  core::Platform platform = draw_platform(scenario, app, rng);
+  return core::Problem{std::move(app), std::move(platform)};
+}
+
+}  // namespace mf::exp

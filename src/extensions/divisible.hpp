@@ -1,0 +1,62 @@
+// Divisible tasks — the paper's stated future work (Section 8): "consider
+// that the instances of a same task can be computed by several machines.
+// Thus, the workload of a task would be divided and the throughput could be
+// improved."
+//
+// Model: machines remain specialized (one type each), but a task may route
+// fractions of its product stream to *several* machines of its type. If
+// task i must deliver D_i successful products per system output and routes
+// y_{i,u} of them to machine u (sum_u y_{i,u} = D_i), machine u spends
+// y_{i,u} * F_{i,u} * w_{i,u} ms on it (F = 1/(1-f): attempts per success)
+// and consumes y_{i,u} * F_{i,u} upstream products. The demand on the
+// predecessor is therefore sum_u y_{i,u} F_{i,u}, and walking the in-tree
+// backward keeps every D_i well-defined.
+//
+// The allocator places each task greedily (backward order) by water-filling:
+// it spreads the task's demand over its type's machines so that the final
+// levels of the used machines equalize — the exact single-task optimum
+// given current loads. Machine groups are seeded from a specialized mapping
+// (typically H4w's), so the result is directly comparable: the divisible
+// period is never worse than the seed's and the bench quantifies the gain.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+#include "support/matrix.hpp"
+
+namespace mf::ext {
+
+/// Fractional routing: share.at(i, u) = successful products of task i
+/// produced on machine u, per finished system product.
+struct DivisibleSchedule {
+  support::Matrix shares;  ///< tasks x machines, successful-product units
+  std::vector<double> machine_loads;
+  double period = 0.0;
+
+  /// Demand D_i (successful products per output) each task had to deliver.
+  std::vector<double> demand;
+};
+
+/// Splits every task's stream over the machines its type owns in
+/// `seed_mapping`, water-filling against current loads. The seed must be a
+/// valid specialized mapping.
+[[nodiscard]] DivisibleSchedule divide_workload(const core::Problem& problem,
+                                                const core::Mapping& seed_mapping);
+
+/// Convenience: seeds with H4w and returns the schedule; nullopt when no
+/// specialized mapping exists (p > m).
+[[nodiscard]] std::optional<DivisibleSchedule> divisible_schedule(const core::Problem& problem);
+
+/// Water-filling primitive (exposed for tests): distribute `demand` units
+/// over machines with current `loads` and per-unit costs `rates` (ms per
+/// unit), minimizing the resulting maximum load. Returns per-machine units;
+/// machines with rate <= 0 are skipped. Requires at least one usable
+/// machine and demand >= 0.
+[[nodiscard]] std::vector<double> water_fill(const std::vector<double>& loads,
+                                             const std::vector<double>& rates, double demand);
+
+}  // namespace mf::ext

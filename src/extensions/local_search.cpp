@@ -1,0 +1,172 @@
+#include "extensions/local_search.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace mf::ext {
+
+using core::kNoTask;
+using core::MachineIndex;
+using core::TaskIndex;
+using core::TypeIndex;
+
+namespace {
+
+/// Mutable view of a specialized mapping with cheap validity bookkeeping:
+/// per-machine task counts and served type.
+struct State {
+  const core::Problem& problem;
+  std::vector<MachineIndex> assignment;
+  std::vector<std::size_t> machine_tasks;
+  std::vector<TypeIndex> machine_type;  // kNoTask when free
+  double period;
+
+  State(const core::Problem& p, const core::Mapping& mapping)
+      : problem(p),
+        assignment(mapping.assignment()),
+        machine_tasks(p.machine_count(), 0),
+        machine_type(p.machine_count(), kNoTask),
+        period(core::period(p, mapping)) {
+    for (TaskIndex i = 0; i < assignment.size(); ++i) {
+      const MachineIndex u = assignment[i];
+      ++machine_tasks[u];
+      machine_type[u] = p.app.type_of(i);
+    }
+  }
+
+  [[nodiscard]] bool relocate_valid(TaskIndex i, MachineIndex v) const {
+    if (assignment[i] == v) return false;
+    return machine_type[v] == kNoTask || machine_type[v] == problem.app.type_of(i);
+  }
+
+  /// Swapping machines of i and j keeps specialization iff each target
+  /// machine ends up single-typed: u (minus i, plus j) must be pure t(j),
+  /// v (minus j, plus i) must be pure t(i). With per-machine single types
+  /// that reduces to: either t(i) == t(j) (trivially fine) or both tasks
+  /// are alone on their machines.
+  [[nodiscard]] bool swap_valid(TaskIndex i, TaskIndex j) const {
+    const MachineIndex u = assignment[i];
+    const MachineIndex v = assignment[j];
+    if (u == v) return false;
+    if (problem.app.type_of(i) == problem.app.type_of(j)) return true;
+    return machine_tasks[u] == 1 && machine_tasks[v] == 1;
+  }
+
+  [[nodiscard]] double period_if_relocated(TaskIndex i, MachineIndex v) const {
+    std::vector<MachineIndex> candidate = assignment;
+    candidate[i] = v;
+    return core::period(problem, core::Mapping{std::move(candidate)});
+  }
+
+  [[nodiscard]] double period_if_swapped(TaskIndex i, TaskIndex j) const {
+    std::vector<MachineIndex> candidate = assignment;
+    std::swap(candidate[i], candidate[j]);
+    return core::period(problem, core::Mapping{std::move(candidate)});
+  }
+
+  void apply_relocate(TaskIndex i, MachineIndex v, double new_period) {
+    const MachineIndex u = assignment[i];
+    assignment[i] = v;
+    if (--machine_tasks[u] == 0) machine_type[u] = kNoTask;
+    ++machine_tasks[v];
+    machine_type[v] = problem.app.type_of(i);
+    period = new_period;
+  }
+
+  void apply_swap(TaskIndex i, TaskIndex j, double new_period) {
+    const MachineIndex u = assignment[i];
+    const MachineIndex v = assignment[j];
+    assignment[i] = v;
+    assignment[j] = u;
+    machine_type[u] = problem.app.type_of(j);
+    machine_type[v] = problem.app.type_of(i);
+    period = new_period;
+  }
+};
+
+struct Move {
+  enum class Kind { kRelocate, kSwap } kind;
+  TaskIndex first;
+  std::size_t second;  // machine (relocate) or task (swap)
+  double new_period;
+  /// Tie-breaker among equal-period moves: the load the target machine
+  /// would end up with. Preferring lighter targets spreads work over free
+  /// machines, which keeps future relocations available (a plateau of
+  /// equal periods often hides a strictly better state two moves away).
+  double target_load;
+};
+
+}  // namespace
+
+RefinementResult refine_mapping(const core::Problem& problem, const core::Mapping& initial,
+                                const RefinementOptions& options) {
+  MF_REQUIRE(initial.complies_with(core::MappingRule::kSpecialized, problem.app,
+                                   problem.machine_count()),
+             "local search requires a valid specialized mapping");
+  MF_REQUIRE(options.max_passes > 0, "max_passes must be positive");
+
+  State state(problem, initial);
+  RefinementResult result;
+  result.initial_period = state.period;
+
+  const std::size_t n = problem.task_count();
+  const std::size_t m = problem.machine_count();
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    ++result.passes;
+    std::optional<Move> best;
+    const double threshold = state.period * (1.0 - options.min_relative_gain);
+
+    auto consider = [&](Move move) -> bool {
+      if (move.new_period >= threshold) return false;
+      if (!best.has_value() || move.new_period < best->new_period ||
+          (move.new_period == best->new_period && move.target_load < best->target_load)) {
+        best = move;
+      }
+      return options.first_improvement;
+    };
+
+    const std::vector<double> loads = core::machine_periods(
+        problem, core::Mapping{state.assignment});
+    bool stop_scan = false;
+    for (TaskIndex i = 0; i < n && !stop_scan; ++i) {
+      for (MachineIndex v = 0; v < m && !stop_scan; ++v) {
+        if (!state.relocate_valid(i, v)) continue;
+        stop_scan = consider({Move::Kind::kRelocate, i, v,
+                              state.period_if_relocated(i, v), loads[v]});
+      }
+    }
+    if (options.allow_swaps) {
+      for (TaskIndex i = 0; i < n && !stop_scan; ++i) {
+        for (TaskIndex j = i + 1; j < n && !stop_scan; ++j) {
+          if (!state.swap_valid(i, j)) continue;
+          stop_scan = consider({Move::Kind::kSwap, i, j, state.period_if_swapped(i, j),
+                                std::max(loads[state.assignment[i]],
+                                         loads[state.assignment[j]])});
+        }
+      }
+    }
+
+    if (!best.has_value()) {
+      result.converged = true;
+      break;
+    }
+    if (best->kind == Move::Kind::kRelocate) {
+      state.apply_relocate(best->first, best->second, best->new_period);
+    } else {
+      state.apply_swap(best->first, best->second, best->new_period);
+    }
+    ++result.moves_applied;
+  }
+
+  result.mapping = core::Mapping{std::move(state.assignment)};
+  result.period = state.period;
+  MF_CHECK(result.period <= result.initial_period + 1e-9,
+           "local search must never worsen the mapping");
+  return result;
+}
+
+}  // namespace mf::ext

@@ -1,0 +1,90 @@
+#include "extensions/reconfiguration.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace mf::ext {
+
+using core::MachineIndex;
+using core::TaskIndex;
+
+std::vector<std::size_t> type_switches_per_cycle(const core::Problem& problem,
+                                                 const core::Mapping& mapping) {
+  MF_REQUIRE(mapping.is_complete(problem.machine_count()), "mapping must be complete");
+  std::vector<std::set<core::TypeIndex>> types_on(problem.machine_count());
+  for (TaskIndex i = 0; i < problem.task_count(); ++i) {
+    types_on[mapping.machine_of(i)].insert(problem.app.type_of(i));
+  }
+  std::vector<std::size_t> switches(problem.machine_count(), 0);
+  for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
+    switches[u] = types_on[u].size() > 1 ? types_on[u].size() : 0;
+  }
+  return switches;
+}
+
+double period_with_reconfiguration(const core::Problem& problem, const core::Mapping& mapping,
+                                   double reconfiguration_ms) {
+  MF_REQUIRE(reconfiguration_ms >= 0.0, "reconfiguration cost must be non-negative");
+  const std::vector<double> base = core::machine_periods(problem, mapping);
+  const std::vector<std::size_t> switches = type_switches_per_cycle(problem, mapping);
+  double worst = 0.0;
+  for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
+    worst = std::max(worst,
+                     base[u] + static_cast<double>(switches[u]) * reconfiguration_ms);
+  }
+  return worst;
+}
+
+core::Mapping greedy_general_mapping(const core::Problem& problem) {
+  const std::size_t n = problem.task_count();
+  const std::size_t m = problem.machine_count();
+  std::vector<MachineIndex> assignment(n, core::kUnassigned);
+  std::vector<double> loads(m, 0.0);
+  std::vector<double> x(n, 0.0);
+
+  for (TaskIndex i : problem.app.backward_order()) {
+    const TaskIndex succ = problem.app.successor(i);
+    const double downstream = succ == core::kNoTask ? 1.0 : x[succ];
+    double best_score = std::numeric_limits<double>::infinity();
+    MachineIndex best = 0;
+    for (MachineIndex u = 0; u < m; ++u) {
+      const double score = loads[u] + downstream * problem.platform.time(i, u);
+      if (score < best_score) {
+        best_score = score;
+        best = u;
+      }
+    }
+    x[i] = downstream * problem.platform.attempts_per_success(i, best);
+    loads[best] += x[i] * problem.platform.time(i, best);
+    assignment[i] = best;
+  }
+  return core::Mapping{std::move(assignment)};
+}
+
+double reconfiguration_crossover(const core::Problem& problem,
+                                 const core::Mapping& specialized,
+                                 const core::Mapping& general) {
+  MF_REQUIRE(specialized.complies_with(core::MappingRule::kSpecialized, problem.app,
+                                       problem.machine_count()),
+             "first mapping must be specialized");
+  const double spec_period = core::period(problem, specialized);
+  if (period_with_reconfiguration(problem, general, 0.0) >= spec_period) return 0.0;
+
+  // period_r(general, r) = max_u (base_u + switches_u * r) is piecewise
+  // linear and non-decreasing in r; find the smallest r where it reaches
+  // spec_period by checking each machine's line.
+  const std::vector<double> base = core::machine_periods(problem, general);
+  const std::vector<std::size_t> switches = type_switches_per_cycle(problem, general);
+  double crossover = std::numeric_limits<double>::infinity();
+  for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
+    if (switches[u] == 0) continue;  // this machine never catches up via r
+    const double r = (spec_period - base[u]) / static_cast<double>(switches[u]);
+    if (r >= 0.0) crossover = std::min(crossover, r);
+  }
+  return crossover;
+}
+
+}  // namespace mf::ext

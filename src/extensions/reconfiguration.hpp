@@ -1,0 +1,48 @@
+// Reconfiguration-aware general mappings.
+//
+// Section 6 rules general mappings out "because of the unaffordable
+// reconfiguration costs": a cell that alternates between task types must be
+// re-tooled between operations. This module makes that argument
+// quantitative. Under a general mapping, a machine serving k > 1 distinct
+// types processes its tasks grouped by type within each product cycle and
+// pays `reconfiguration_ms` per type switch, i.e. k switches per cycle
+// (cyclically, returning to the first type included). The period becomes
+//   period_r(M_u) = sum_i x_i w_{i,u} + switches(u) * reconfiguration_ms.
+// `greedy_general_mapping` is H4w with the type constraint removed; the
+// crossover bench shows specialized mappings win once the reconfiguration
+// cost exceeds a modest threshold — reproducing the paper's design choice.
+#pragma once
+
+#include "core/evaluation.hpp"
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+
+namespace mf::ext {
+
+/// Number of type switches machine u pays per product cycle under
+/// `mapping`: 0 when it serves at most one type, otherwise the number of
+/// distinct types it serves (cyclic schedule).
+[[nodiscard]] std::vector<std::size_t> type_switches_per_cycle(const core::Problem& problem,
+                                                               const core::Mapping& mapping);
+
+/// Period including reconfiguration costs. With reconfiguration_ms = 0 this
+/// equals core::period.
+[[nodiscard]] double period_with_reconfiguration(const core::Problem& problem,
+                                                 const core::Mapping& mapping,
+                                                 double reconfiguration_ms);
+
+/// Greedy general mapping: H4w's rule (minimize load + x*w) without the
+/// specialization constraint. Always succeeds (any machine may take any
+/// task).
+[[nodiscard]] core::Mapping greedy_general_mapping(const core::Problem& problem);
+
+/// Smallest reconfiguration cost (ms) at which the given specialized
+/// mapping beats the given general mapping, or 0 if it already wins without
+/// reconfiguration costs. Solves
+///   period(spec) = period_r(general, r)  for r (linear in r on the
+/// critical machine; computed by scanning machines).
+[[nodiscard]] double reconfiguration_crossover(const core::Problem& problem,
+                                               const core::Mapping& specialized,
+                                               const core::Mapping& general);
+
+}  // namespace mf::ext

@@ -1,0 +1,101 @@
+#include "extensions/window_constrained.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mf::ext {
+
+namespace {
+
+/// log(n choose k) via lgamma.
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace
+
+double binomial_tail_at_least(std::uint64_t n, double p, std::uint64_t k) {
+  MF_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+
+  // Sum the smaller tail in log space, then complement if needed.
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  auto log_pmf = [&](std::uint64_t j) {
+    return log_choose(n, j) + static_cast<double>(j) * log_p +
+           static_cast<double>(n - j) * log_q;
+  };
+
+  // P(X >= k) = sum_{j=k..n} pmf(j). Accumulate with a running max trick.
+  // The direct sum is fine for the sizes planners use (n <= ~1e6 terms
+  // would be slow; we sum whichever tail is shorter).
+  const bool sum_upper = (n - k + 1) <= k;  // upper tail shorter?
+  double total = 0.0;
+  if (sum_upper) {
+    for (std::uint64_t j = k; j <= n; ++j) total += std::exp(log_pmf(j));
+    return std::min(1.0, total);
+  }
+  for (std::uint64_t j = 0; j < k; ++j) total += std::exp(log_pmf(j));
+  return std::max(0.0, 1.0 - total);
+}
+
+double chain_survival_probability(const core::Problem& problem, const core::Mapping& mapping) {
+  MF_REQUIRE(problem.app.is_linear_chain(), "survival planning requires a linear chain");
+  MF_REQUIRE(mapping.is_complete(problem.machine_count()), "mapping must be complete");
+  double q = 1.0;
+  for (core::TaskIndex i = 0; i < problem.task_count(); ++i) {
+    q *= 1.0 - problem.platform.failure(i, mapping.machine_of(i));
+  }
+  return q;
+}
+
+std::uint64_t required_inputs(const core::Problem& problem, const core::Mapping& mapping,
+                              std::uint64_t finished_products, double confidence) {
+  MF_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+  if (finished_products == 0) return 0;
+  const double q = chain_survival_probability(problem, mapping);
+  MF_REQUIRE(q > 0.0, "chain survival probability is zero; no batch suffices");
+
+  // Start at the expectation-based batch and grow geometrically until the
+  // guarantee holds, then binary search the minimal N (tail is monotone in N).
+  auto satisfied = [&](std::uint64_t n) {
+    return binomial_tail_at_least(n, q, finished_products) >= confidence;
+  };
+  std::uint64_t lo = finished_products;
+  auto hi = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(finished_products) / q));
+  while (!satisfied(hi)) {
+    lo = hi + 1;
+    hi = hi * 2 + 1;
+  }
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (satisfied(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+std::uint64_t window_loss_bound(const core::Problem& problem, const core::Mapping& mapping,
+                                std::uint64_t window_size, double confidence) {
+  MF_REQUIRE(window_size > 0, "window must be non-empty");
+  MF_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+  const double q = chain_survival_probability(problem, mapping);
+  // Losses in a window of y inputs ~ Binomial(y, 1-q). Find the smallest x
+  // with P(losses <= x) >= confidence, i.e. P(survivors >= y - x) >= conf.
+  for (std::uint64_t x = 0; x < window_size; ++x) {
+    if (binomial_tail_at_least(window_size, q, window_size - x) >= confidence) return x;
+  }
+  return window_size;
+}
+
+}  // namespace mf::ext

@@ -1,0 +1,48 @@
+// Probabilistic input-batch planning (the Section 2 guarantee view).
+//
+// The paper frames losses through the Window-Constrained model: "for y
+// messages, only x of them will reach their destination ... the issue is to
+// guarantee the output of a given number of products. Once an allocation
+// has been given, we can compute the number of products needed as input of
+// the system and guarantee the output for the desired number of products."
+//
+// core::expected_inputs_for gives the *expectation*; this module gives the
+// guarantee. For a linear chain, each raw product fed into the line
+// independently survives with probability q = prod_i (1 - f_{i,a(i)}), so
+// the number of finished products out of N inputs is Binomial(N, q) and the
+// smallest N with P(outputs >= xout) >= confidence is found by a monotone
+// search over an exact (log-space) binomial tail.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+
+namespace mf::ext {
+
+/// P(Binomial(n, p) >= k), computed in log space; exact up to double
+/// rounding (no normal approximation).
+[[nodiscard]] double binomial_tail_at_least(std::uint64_t n, double p, std::uint64_t k);
+
+/// Probability that one raw input product survives the whole mapped chain:
+/// prod_i (1 - f_{i,a(i)}). Requires a linear-chain application.
+[[nodiscard]] double chain_survival_probability(const core::Problem& problem,
+                                                const core::Mapping& mapping);
+
+/// Smallest input batch N such that P(at least `finished_products` survive)
+/// >= confidence. Requires a linear chain, confidence in (0, 1) and a
+/// positive survival probability.
+[[nodiscard]] std::uint64_t required_inputs(const core::Problem& problem,
+                                            const core::Mapping& mapping,
+                                            std::uint64_t finished_products,
+                                            double confidence);
+
+/// The Window-Constrained reading: for windows of y consecutive inputs,
+/// the largest loss count x such that "at most x losses per window" holds
+/// with probability >= confidence for a single window.
+[[nodiscard]] std::uint64_t window_loss_bound(const core::Problem& problem,
+                                              const core::Mapping& mapping,
+                                              std::uint64_t window_size, double confidence);
+
+}  // namespace mf::ext

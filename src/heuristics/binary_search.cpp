@@ -1,0 +1,157 @@
+#include "heuristics/binary_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "support/check.hpp"
+#include "support/matrix.hpp"
+#include "support/stats.hpp"
+
+namespace mf::heuristics {
+
+using core::MachineIndex;
+using core::TaskIndex;
+
+std::optional<core::Mapping> assign_within_period(const core::Problem& problem,
+                                                  const MachineSelector& selector,
+                                                  double period_bound) {
+  AssignmentState state(problem);
+  std::vector<MachineIndex> order;
+  for (TaskIndex i : problem.app.backward_order()) {
+    selector.order_machines(problem, state, i, order);
+    MF_CHECK(order.size() == problem.machine_count(), "selector must order all machines");
+    bool placed = false;
+    for (MachineIndex u : order) {
+      if (!state.allowed(i, u)) continue;
+      if (state.load_if(i, u) > period_bound) continue;
+      state.assign(i, u);
+      placed = true;
+      break;
+    }
+    if (!placed) return std::nullopt;
+  }
+  MF_CHECK(state.all_assigned(), "assignment pass incomplete");
+  return state.mapping();
+}
+
+std::optional<core::Mapping> binary_search_schedule(const core::Problem& problem,
+                                                    MachineSelector& selector) {
+  if (problem.type_count() > problem.machine_count()) return std::nullopt;
+  selector.prepare(problem);
+
+  // Integer millisecond bounds, exactly as Algorithms 2-3.
+  std::int64_t lo = 0;
+  auto hi = static_cast<std::int64_t>(std::ceil(core::period_upper_bound(problem)));
+  std::optional<core::Mapping> best =
+      assign_within_period(problem, selector, static_cast<double>(hi));
+  if (!best.has_value()) return std::nullopt;  // defensive; UB is always feasible
+
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    auto attempt = assign_within_period(problem, selector, static_cast<double>(mid));
+    if (attempt.has_value()) {
+      hi = mid;
+      best = std::move(attempt);
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// H2's machine preference: precomputed rank of each task in each machine's
+/// ascending-w column; prefer the machine where the task ranks best.
+class RankSelector final : public MachineSelector {
+ public:
+  void prepare(const core::Problem& problem) override {
+    const std::size_t n = problem.task_count();
+    const std::size_t m = problem.machine_count();
+    ranks_ = support::Matrix(n, m);
+    std::vector<TaskIndex> by_time(n);
+    for (MachineIndex u = 0; u < m; ++u) {
+      std::iota(by_time.begin(), by_time.end(), TaskIndex{0});
+      std::stable_sort(by_time.begin(), by_time.end(), [&](TaskIndex a, TaskIndex b) {
+        return problem.platform.time(a, u) < problem.platform.time(b, u);
+      });
+      // Dense ranking: tasks with equal w share a rank, matching the
+      // paper's "rank of T_i in the ordered set" (sets collapse ties).
+      std::size_t rank = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k > 0 &&
+            problem.platform.time(by_time[k], u) > problem.platform.time(by_time[k - 1], u)) {
+          ++rank;
+        }
+        ranks_.at(by_time[k], u) = static_cast<double>(rank);
+      }
+    }
+  }
+
+  void order_machines(const core::Problem& problem, const AssignmentState& /*state*/,
+                      TaskIndex task, std::vector<MachineIndex>& order) const override {
+    order.resize(problem.machine_count());
+    std::iota(order.begin(), order.end(), MachineIndex{0});
+    std::stable_sort(order.begin(), order.end(), [&](MachineIndex a, MachineIndex b) {
+      const double ra = ranks_.at(task, a);
+      const double rb = ranks_.at(task, b);
+      if (ra != rb) return ra < rb;
+      // Tie on rank: "machines are sorted by non-decreasing values of w".
+      return problem.platform.time(task, a) < problem.platform.time(task, b);
+    });
+  }
+
+ private:
+  support::Matrix ranks_;
+};
+
+/// H3's machine preference: static order by decreasing heterogeneity
+/// (standard deviation of the machine's processing-time column).
+class HeterogeneitySelector final : public MachineSelector {
+ public:
+  void prepare(const core::Problem& problem) override {
+    const std::size_t m = problem.machine_count();
+    heterogeneity_.assign(m, 0.0);
+    for (MachineIndex u = 0; u < m; ++u) {
+      support::RunningStats stats;
+      for (TaskIndex i = 0; i < problem.task_count(); ++i) {
+        stats.add(problem.platform.time(i, u));
+      }
+      heterogeneity_[u] = stats.stddev();
+    }
+    static_order_.resize(m);
+    std::iota(static_order_.begin(), static_order_.end(), MachineIndex{0});
+    std::stable_sort(static_order_.begin(), static_order_.end(),
+                     [this](MachineIndex a, MachineIndex b) {
+                       return heterogeneity_[a] > heterogeneity_[b];
+                     });
+  }
+
+  void order_machines(const core::Problem& /*problem*/, const AssignmentState& /*state*/,
+                      TaskIndex /*task*/, std::vector<MachineIndex>& order) const override {
+    order = static_order_;
+  }
+
+ private:
+  std::vector<double> heterogeneity_;
+  std::vector<MachineIndex> static_order_;
+};
+
+}  // namespace
+
+std::optional<core::Mapping> H2BinarySearchRank::run(const core::Problem& problem,
+                                                     support::Rng& /*rng*/) const {
+  RankSelector selector;
+  return binary_search_schedule(problem, selector);
+}
+
+std::optional<core::Mapping> H3BinarySearchHeterogeneity::run(const core::Problem& problem,
+                                                              support::Rng& /*rng*/) const {
+  HeterogeneitySelector selector;
+  return binary_search_schedule(problem, selector);
+}
+
+}  // namespace mf::heuristics

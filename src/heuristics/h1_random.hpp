@@ -1,0 +1,23 @@
+// H1 — the random heuristic (Algorithm 1).
+//
+// Tasks are grouped backward from the sink: while free machines remain in
+// excess of the types still waiting for their first machine, each task opens
+// a new group for its type; otherwise it joins a uniformly random existing
+// group of its type. Groups are then placed on distinct machines chosen at
+// random. H1 is the paper's baseline: it respects feasibility but is blind
+// to speeds and failure rates, which is exactly why Figures 5 and 10 show it
+// far above the informed heuristics.
+#pragma once
+
+#include "heuristics/heuristic.hpp"
+
+namespace mf::heuristics {
+
+class H1Random final : public Heuristic {
+ public:
+  [[nodiscard]] std::string name() const override { return "H1"; }
+  [[nodiscard]] std::optional<core::Mapping> run(const core::Problem& problem,
+                                                 support::Rng& rng) const override;
+};
+
+}  // namespace mf::heuristics

@@ -1,0 +1,73 @@
+#include "heuristics/h4_family.hpp"
+
+#include <functional>
+#include <limits>
+
+#include "core/failure.hpp"
+#include "heuristics/assignment_state.hpp"
+#include "support/check.hpp"
+
+namespace mf::heuristics {
+
+using core::MachineIndex;
+using core::TaskIndex;
+
+namespace {
+
+/// Shared greedy loop of Algorithms 4-6. `increment(i, u, x)` is the score
+/// a candidate machine adds on top of its accumulated load; x is the
+/// product count required by the successor of task i.
+std::optional<core::Mapping> run_greedy(
+    const core::Problem& problem,
+    const std::function<double(TaskIndex, MachineIndex, double)>& increment) {
+  if (problem.type_count() > problem.machine_count()) return std::nullopt;
+  AssignmentState state(problem);
+  for (TaskIndex i : problem.app.backward_order()) {
+    const double x = state.downstream_products(i);
+    double best_score = std::numeric_limits<double>::infinity();
+    MachineIndex best_machine = core::kUnassigned;
+    for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
+      if (!state.allowed(i, u)) continue;  // dedicated to another type / reserved
+      const double score = state.load(u) + increment(i, u, x);
+      if (score < best_score) {
+        best_score = score;
+        best_machine = u;
+      }
+    }
+    MF_CHECK(best_machine != core::kUnassigned,
+             "greedy found no feasible machine despite p <= m");
+    state.assign(i, best_machine);
+  }
+  return state.mapping();
+}
+
+double failure_factor(const core::Problem& problem, TaskIndex i, MachineIndex u,
+                      FailureFactor factor) {
+  const double f = problem.platform.failure(i, u);
+  return factor == FailureFactor::kAttemptsPerSuccess ? core::survival_inverse(f) : f;
+}
+
+}  // namespace
+
+std::optional<core::Mapping> H4BestPerformance::run(const core::Problem& problem,
+                                                    support::Rng& /*rng*/) const {
+  return run_greedy(problem, [&](TaskIndex i, MachineIndex u, double x) {
+    return x * problem.platform.time(i, u) * failure_factor(problem, i, u, factor_);
+  });
+}
+
+std::optional<core::Mapping> H4wFastestMachine::run(const core::Problem& problem,
+                                                    support::Rng& /*rng*/) const {
+  return run_greedy(problem, [&](TaskIndex i, MachineIndex u, double x) {
+    return x * problem.platform.time(i, u);
+  });
+}
+
+std::optional<core::Mapping> H4fReliableMachine::run(const core::Problem& problem,
+                                                     support::Rng& /*rng*/) const {
+  return run_greedy(problem, [&](TaskIndex i, MachineIndex u, double x) {
+    return x * failure_factor(problem, i, u, factor_);
+  });
+}
+
+}  // namespace mf::heuristics

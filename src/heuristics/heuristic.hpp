@@ -1,0 +1,43 @@
+// Common interface of the paper's six specialized-mapping heuristics
+// (Section 6.2, Algorithms 1-6).
+//
+// Every heuristic walks the tasks backward from the sink (the only order in
+// which the expected product counts x_i are computable, since x_i depends on
+// the machines chosen downstream) and produces a *specialized* mapping: each
+// machine serves at most one task type. A heuristic may fail on infeasible
+// inputs (p > m), in which case it returns std::nullopt.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+#include "support/rng.hpp"
+
+namespace mf::heuristics {
+
+class Heuristic {
+ public:
+  virtual ~Heuristic() = default;
+
+  /// Short identifier matching the paper ("H1", "H2", ..., "H4f").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Builds a specialized mapping. `rng` is consumed only by randomized
+  /// heuristics (H1); deterministic heuristics ignore it, so repeated calls
+  /// return identical mappings.
+  [[nodiscard]] virtual std::optional<core::Mapping> run(const core::Problem& problem,
+                                                         support::Rng& rng) const = 0;
+};
+
+/// All six heuristics in paper order: H1, H2, H3, H4, H4w, H4f.
+[[nodiscard]] std::vector<std::shared_ptr<const Heuristic>> all_heuristics();
+
+/// Finds a heuristic by its paper name; throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] std::shared_ptr<const Heuristic> heuristic_by_name(const std::string& name);
+
+}  // namespace mf::heuristics

@@ -1,0 +1,28 @@
+#include <stdexcept>
+
+#include "heuristics/binary_search.hpp"
+#include "heuristics/h1_random.hpp"
+#include "heuristics/h4_family.hpp"
+#include "heuristics/heuristic.hpp"
+
+namespace mf::heuristics {
+
+std::vector<std::shared_ptr<const Heuristic>> all_heuristics() {
+  return {
+      std::make_shared<H1Random>(),
+      std::make_shared<H2BinarySearchRank>(),
+      std::make_shared<H3BinarySearchHeterogeneity>(),
+      std::make_shared<H4BestPerformance>(),
+      std::make_shared<H4wFastestMachine>(),
+      std::make_shared<H4fReliableMachine>(),
+  };
+}
+
+std::shared_ptr<const Heuristic> heuristic_by_name(const std::string& name) {
+  for (auto& h : all_heuristics()) {
+    if (h->name() == name) return h;
+  }
+  throw std::invalid_argument("unknown heuristic: " + name);
+}
+
+}  // namespace mf::heuristics

@@ -1,0 +1,137 @@
+#include "lp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace mf::lp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound;  // parent relaxation objective (lower bound for children)
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) const {
+    return a->bound > b->bound;  // min-heap on bound: best-first
+  }
+};
+
+/// Index of the most fractional integer variable, or npos if all integral.
+std::size_t most_fractional(const MipModel& model, const std::vector<double>& x,
+                            double tolerance) {
+  std::size_t best = static_cast<std::size_t>(-1);
+  double best_score = tolerance;
+  for (std::size_t v = 0; v < model.variable_count(); ++v) {
+    if (!model.variable(v).integer) continue;
+    const double frac = x[v] - std::floor(x[v]);
+    const double distance = std::min(frac, 1.0 - frac);
+    if (distance > best_score) {
+      best_score = distance;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipResult solve_mip(const MipModel& model, const MipOptions& options) {
+  MipResult result;
+  result.best_bound = -std::numeric_limits<double>::infinity();
+
+  double incumbent_value = options.incumbent_hint.value_or(
+      std::numeric_limits<double>::infinity());
+  std::vector<double> incumbent_x;
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeOrder>
+      open;
+  open.push(std::make_shared<Node>(Node{model.default_lower(), model.default_upper(),
+                                        -std::numeric_limits<double>::infinity()}));
+
+  bool budget_hit = false;
+  // Nodes abandoned due to LP iteration limits still constrain what we can
+  // prove; remember the tightest bound among them.
+  double dropped_bound = std::numeric_limits<double>::infinity();
+  while (!open.empty()) {
+    if (result.nodes >= options.max_nodes) {
+      budget_hit = true;
+      break;
+    }
+    const std::shared_ptr<Node> node = open.top();
+    open.pop();
+    ++result.nodes;
+
+    // A node whose inherited bound cannot beat the incumbent is pruned
+    // before the (expensive) LP solve.
+    if (node->bound >= incumbent_value - options.gap_tolerance * std::abs(incumbent_value)) {
+      continue;
+    }
+
+    const LpSolution relax = solve_lp(model.to_dense(node->lower, node->upper),
+                                      options.simplex);
+    if (relax.status == LpStatus::kInfeasible) continue;
+    MF_CHECK(relax.status != LpStatus::kUnbounded,
+             "MIP relaxation unbounded: model is missing bounds");
+    if (relax.status == LpStatus::kIterationLimit) {
+      budget_hit = true;  // treat as unexplored: cannot prove anything below
+      dropped_bound = std::min(dropped_bound, node->bound);
+      continue;
+    }
+    if (relax.objective >= incumbent_value - options.gap_tolerance *
+                                                 std::abs(incumbent_value)) {
+      continue;  // bound-dominated
+    }
+
+    const std::size_t branch_var =
+        most_fractional(model, relax.x, options.integrality_tolerance);
+    if (branch_var == static_cast<std::size_t>(-1)) {
+      // Integer-feasible: new incumbent (we already know it improves).
+      incumbent_value = relax.objective;
+      incumbent_x = relax.x;
+      continue;
+    }
+
+    const double value = relax.x[branch_var];
+    auto down = std::make_shared<Node>(*node);
+    down->bound = relax.objective;
+    down->upper[branch_var] = std::floor(value);
+    if (down->upper[branch_var] >= down->lower[branch_var]) open.push(std::move(down));
+
+    auto up = std::make_shared<Node>(*node);
+    up->bound = relax.objective;
+    up->lower[branch_var] = std::ceil(value);
+    if (up->lower[branch_var] <= up->upper[branch_var]) open.push(std::move(up));
+  }
+
+  // The tightest unexplored bound limits what we can still prove.
+  double frontier_bound = dropped_bound;
+  if (!open.empty()) frontier_bound = std::min(frontier_bound, open.top()->bound);
+
+  if (!incumbent_x.empty()) {
+    result.x = std::move(incumbent_x);
+    result.objective = incumbent_value;
+    result.best_bound = std::min(incumbent_value, frontier_bound);
+    result.status = (!budget_hit && open.empty()) ||
+                            frontier_bound >= incumbent_value -
+                                                  options.gap_tolerance *
+                                                      std::abs(incumbent_value)
+                        ? MipStatus::kOptimal
+                        : MipStatus::kFeasible;
+  } else if (budget_hit || !open.empty()) {
+    result.status = MipStatus::kBudgetExceeded;
+    result.best_bound = frontier_bound;
+  } else {
+    result.status = MipStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace mf::lp

@@ -1,0 +1,102 @@
+#include "lp/model.hpp"
+
+#include "support/check.hpp"
+
+namespace mf::lp {
+
+std::size_t MipModel::add_variable(std::string name, double lower, double upper,
+                                   double objective, bool integer) {
+  MF_REQUIRE(lower >= 0.0, "variable lower bounds must be non-negative");
+  MF_REQUIRE(upper >= lower, "variable bounds crossed");
+  variables_.push_back({std::move(name), lower, upper, objective, integer});
+  return variables_.size() - 1;
+}
+
+std::size_t MipModel::add_binary(std::string name, double objective) {
+  return add_variable(std::move(name), 0.0, 1.0, objective, /*integer=*/true);
+}
+
+std::size_t MipModel::add_continuous(std::string name, double lower, double upper,
+                                     double objective) {
+  return add_variable(std::move(name), lower, upper, objective, /*integer=*/false);
+}
+
+void MipModel::add_constraint(std::string name, std::vector<Term> terms, Relation relation,
+                              double rhs) {
+  for (const Term& term : terms) {
+    MF_REQUIRE(term.variable < variables_.size(), "constraint references unknown variable");
+  }
+  constraints_.push_back({std::move(name), std::move(terms), relation, rhs});
+}
+
+const Variable& MipModel::variable(std::size_t v) const {
+  MF_REQUIRE(v < variables_.size(), "variable index out of range");
+  return variables_[v];
+}
+
+const Constraint& MipModel::constraint(std::size_t r) const {
+  MF_REQUIRE(r < constraints_.size(), "constraint index out of range");
+  return constraints_[r];
+}
+
+DenseLp MipModel::to_dense(const std::vector<double>& lower,
+                           const std::vector<double>& upper) const {
+  MF_REQUIRE(lower.size() == variables_.size() && upper.size() == variables_.size(),
+             "bound vector size mismatch");
+  const std::size_t vars = variables_.size();
+
+  std::size_t bound_rows = 0;
+  for (std::size_t v = 0; v < vars; ++v) {
+    MF_REQUIRE(lower[v] >= 0.0 && upper[v] >= lower[v], "invalid bound override");
+    if (lower[v] > 0.0) ++bound_rows;
+    if (upper[v] < kInfinity) ++bound_rows;
+  }
+
+  DenseLp lp;
+  const std::size_t rows = constraints_.size() + bound_rows;
+  lp.a = support::Matrix(rows, vars);
+  lp.b.assign(rows, 0.0);
+  lp.rel.assign(rows, Relation::kLessEqual);
+  lp.c.assign(vars, 0.0);
+  for (std::size_t v = 0; v < vars; ++v) lp.c[v] = variables_[v].objective;
+
+  std::size_t r = 0;
+  for (const Constraint& constraint : constraints_) {
+    for (const Term& term : constraint.terms) {
+      lp.a.at(r, term.variable) += term.coefficient;
+    }
+    lp.rel[r] = constraint.relation;
+    lp.b[r] = constraint.rhs;
+    ++r;
+  }
+  for (std::size_t v = 0; v < vars; ++v) {
+    if (lower[v] > 0.0) {
+      lp.a.at(r, v) = 1.0;
+      lp.rel[r] = Relation::kGreaterEqual;
+      lp.b[r] = lower[v];
+      ++r;
+    }
+    if (upper[v] < kInfinity) {
+      lp.a.at(r, v) = 1.0;
+      lp.rel[r] = Relation::kLessEqual;
+      lp.b[r] = upper[v];
+      ++r;
+    }
+  }
+  MF_CHECK(r == rows, "bound row accounting error");
+  return lp;
+}
+
+std::vector<double> MipModel::default_lower() const {
+  std::vector<double> lower(variables_.size());
+  for (std::size_t v = 0; v < variables_.size(); ++v) lower[v] = variables_[v].lower;
+  return lower;
+}
+
+std::vector<double> MipModel::default_upper() const {
+  std::vector<double> upper(variables_.size());
+  for (std::size_t v = 0; v < variables_.size(); ++v) upper[v] = variables_[v].upper;
+  return upper;
+}
+
+}  // namespace mf::lp

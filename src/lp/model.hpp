@@ -1,0 +1,71 @@
+// Mixed-integer model builder.
+//
+// A thin, named layer over the dense LP: variables carry bounds and an
+// integrality flag, constraints are sparse term lists. The branch-and-bound
+// solver densifies the model with per-node bound overrides (bounds become
+// explicit rows — simple and adequate at these sizes).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace mf::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  bool integer = false;
+};
+
+struct Term {
+  std::size_t variable;
+  double coefficient;
+};
+
+struct Constraint {
+  std::string name;
+  std::vector<Term> terms;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+class MipModel {
+ public:
+  /// Adds a variable; lower bound must be >= 0 (the simplex works in the
+  /// non-negative orthant; all Section 6.1 variables are non-negative).
+  std::size_t add_variable(std::string name, double lower, double upper, double objective,
+                           bool integer);
+  std::size_t add_binary(std::string name, double objective = 0.0);
+  std::size_t add_continuous(std::string name, double lower, double upper,
+                             double objective = 0.0);
+
+  void add_constraint(std::string name, std::vector<Term> terms, Relation relation, double rhs);
+
+  [[nodiscard]] std::size_t variable_count() const noexcept { return variables_.size(); }
+  [[nodiscard]] std::size_t constraint_count() const noexcept { return constraints_.size(); }
+  [[nodiscard]] const Variable& variable(std::size_t v) const;
+  [[nodiscard]] const Constraint& constraint(std::size_t r) const;
+  [[nodiscard]] const std::vector<Variable>& variables() const noexcept { return variables_; }
+
+  /// Densifies into the simplex form, folding (possibly overridden) finite
+  /// bounds in as rows. `lower`/`upper` must have variable_count entries.
+  [[nodiscard]] DenseLp to_dense(const std::vector<double>& lower,
+                                 const std::vector<double>& upper) const;
+
+  [[nodiscard]] std::vector<double> default_lower() const;
+  [[nodiscard]] std::vector<double> default_upper() const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace mf::lp

@@ -1,0 +1,264 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace mf::lp {
+
+namespace {
+
+/// Full tableau with an objective row; basis tracked per row.
+class Tableau {
+ public:
+  Tableau(const DenseLp& lp, double tolerance) : tol_(tolerance) {
+    rows_ = lp.b.size();
+    MF_REQUIRE(lp.a.rows() == rows_, "A/b row mismatch");
+    MF_REQUIRE(lp.rel.size() == rows_, "A/rel row mismatch");
+    structural_ = lp.a.cols();
+    MF_REQUIRE(lp.c.size() == structural_, "A/c column mismatch");
+
+    // Count auxiliary columns: slack (<=), surplus (>=), artificial (>=, =).
+    std::size_t slack = 0;
+    std::size_t artificial = 0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      // Normalize to b >= 0 first; the relation flips with the sign.
+      Relation rel = lp.rel[r];
+      if (lp.b[r] < 0.0) {
+        rel = rel == Relation::kLessEqual    ? Relation::kGreaterEqual
+              : rel == Relation::kGreaterEqual ? Relation::kLessEqual
+                                               : Relation::kEqual;
+      }
+      if (rel != Relation::kEqual) ++slack;
+      if (rel != Relation::kLessEqual) ++artificial;
+    }
+    total_ = structural_ + slack + artificial;
+    artificial_begin_ = total_ - artificial;
+
+    table_ = support::Matrix(rows_, total_ + 1);
+    basis_.assign(rows_, 0);
+
+    std::size_t next_slack = structural_;
+    std::size_t next_artificial = artificial_begin_;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double sign = lp.b[r] < 0.0 ? -1.0 : 1.0;
+      Relation rel = lp.rel[r];
+      if (sign < 0.0) {
+        rel = rel == Relation::kLessEqual    ? Relation::kGreaterEqual
+              : rel == Relation::kGreaterEqual ? Relation::kLessEqual
+                                               : Relation::kEqual;
+      }
+      for (std::size_t c = 0; c < structural_; ++c) {
+        table_.at(r, c) = sign * lp.a.at(r, c);
+      }
+      table_.at(r, total_) = sign * lp.b[r];
+      switch (rel) {
+        case Relation::kLessEqual:
+          table_.at(r, next_slack) = 1.0;
+          basis_[r] = next_slack++;
+          break;
+        case Relation::kGreaterEqual:
+          table_.at(r, next_slack) = -1.0;
+          ++next_slack;
+          table_.at(r, next_artificial) = 1.0;
+          basis_[r] = next_artificial++;
+          break;
+        case Relation::kEqual:
+          table_.at(r, next_artificial) = 1.0;
+          basis_[r] = next_artificial++;
+          break;
+      }
+    }
+    MF_CHECK(next_artificial == total_, "auxiliary column accounting error");
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t total_columns() const noexcept { return total_; }
+  [[nodiscard]] std::size_t structural_columns() const noexcept { return structural_; }
+  [[nodiscard]] std::size_t artificial_begin() const noexcept { return artificial_begin_; }
+  [[nodiscard]] const std::vector<std::size_t>& basis() const noexcept { return basis_; }
+  [[nodiscard]] double rhs(std::size_t r) const { return table_.at(r, total_); }
+
+  /// Minimizes the given objective over the current tableau. `costs` has one
+  /// entry per tableau column (auxiliaries included). Returns the status and
+  /// leaves the tableau at the final basis.
+  LpStatus optimize(const std::vector<double>& costs, std::size_t max_iterations,
+                    std::size_t stall_threshold, std::size_t& iterations_used,
+                    bool forbid_artificial_entering) {
+    // Reduced-cost row z_j = c_j - c_B . B^{-1} A_j, maintained explicitly.
+    std::vector<double> reduced(total_ + 1, 0.0);
+    for (std::size_t c = 0; c <= total_; ++c) {
+      double value = c < total_ ? costs[c] : 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        value -= costs[basis_[r]] * table_.at(r, c);
+      }
+      reduced[c] = value;
+    }
+
+    double last_objective = std::numeric_limits<double>::infinity();
+    std::size_t stall = 0;
+    bool bland = false;
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+      // Entering column.
+      std::size_t entering = total_;
+      double best = -tol_;
+      for (std::size_t c = 0; c < total_; ++c) {
+        if (forbid_artificial_entering && c >= artificial_begin_) continue;
+        const double rc = reduced[c];
+        if (bland) {
+          if (rc < -tol_) {
+            entering = c;
+            break;
+          }
+        } else if (rc < best) {
+          best = rc;
+          entering = c;
+        }
+      }
+      if (entering == total_) {
+        iterations_used += iter;
+        return LpStatus::kOptimal;
+      }
+
+      // Ratio test; Bland ties broken by smallest basis index.
+      std::size_t leaving = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const double a = table_.at(r, entering);
+        if (a > tol_) {
+          const double ratio = table_.at(r, total_) / a;
+          if (ratio < best_ratio - tol_ ||
+              (ratio < best_ratio + tol_ && leaving < rows_ &&
+               basis_[r] < basis_[leaving])) {
+            best_ratio = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving == rows_) {
+        iterations_used += iter;
+        return LpStatus::kUnbounded;
+      }
+
+      pivot(leaving, entering, reduced);
+
+      const double objective = -reduced[total_];
+      if (objective < last_objective - tol_) {
+        last_objective = objective;
+        stall = 0;
+      } else if (++stall >= stall_threshold) {
+        bland = true;  // degenerate plateau: switch to anti-cycling rule
+      }
+    }
+    iterations_used += max_iterations;
+    return LpStatus::kIterationLimit;
+  }
+
+  /// Pivots artificial variables out of the basis where possible after
+  /// phase 1 (degenerate rows may keep a zero-valued artificial; such rows
+  /// are redundant and pivoting on any nonzero structural entry fixes them).
+  void purge_artificials(std::vector<double>& reduced) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (basis_[r] < artificial_begin_) continue;
+      for (std::size_t c = 0; c < artificial_begin_; ++c) {
+        if (std::abs(table_.at(r, c)) > tol_) {
+          pivot(r, c, reduced);
+          break;
+        }
+      }
+    }
+  }
+
+  void extract(std::vector<double>& x) const {
+    x.assign(structural_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (basis_[r] < structural_) x[basis_[r]] = table_.at(r, total_);
+    }
+  }
+
+ private:
+  void pivot(std::size_t leaving, std::size_t entering, std::vector<double>& reduced) {
+    const double pivot_value = table_.at(leaving, entering);
+    MF_CHECK(std::abs(pivot_value) > tol_ / 10, "pivot on (near-)zero element");
+    const double inv = 1.0 / pivot_value;
+    auto lead = table_.row_data(leaving);
+    for (double& v : lead) v *= inv;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == leaving) continue;
+      const double factor = table_.at(r, entering);
+      if (factor == 0.0) continue;
+      auto row = table_.row_data(r);
+      for (std::size_t c = 0; c <= total_; ++c) row[c] -= factor * lead[c];
+    }
+    const double rfactor = reduced[entering];
+    if (rfactor != 0.0) {
+      for (std::size_t c = 0; c <= total_; ++c) reduced[c] -= rfactor * lead[c];
+    }
+    basis_[leaving] = entering;
+  }
+
+  double tol_;
+  std::size_t rows_ = 0;
+  std::size_t structural_ = 0;
+  std::size_t total_ = 0;
+  std::size_t artificial_begin_ = 0;
+  support::Matrix table_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const DenseLp& lp, const SimplexOptions& options) {
+  LpSolution solution;
+  Tableau tableau(lp, options.tolerance);
+
+  // Phase 1: minimize the artificial sum.
+  const bool needs_phase1 = tableau.artificial_begin() < tableau.total_columns();
+  if (needs_phase1) {
+    std::vector<double> phase1_costs(tableau.total_columns(), 0.0);
+    for (std::size_t c = tableau.artificial_begin(); c < tableau.total_columns(); ++c) {
+      phase1_costs[c] = 1.0;
+    }
+    const LpStatus status =
+        tableau.optimize(phase1_costs, options.max_iterations, options.stall_threshold,
+                         solution.iterations, /*forbid_artificial_entering=*/false);
+    if (status == LpStatus::kIterationLimit) {
+      solution.status = LpStatus::kIterationLimit;
+      return solution;
+    }
+    MF_CHECK(status != LpStatus::kUnbounded, "phase 1 objective is bounded below by 0");
+    // Infeasible iff some artificial stays strictly positive.
+    double artificial_sum = 0.0;
+    for (std::size_t r = 0; r < tableau.rows(); ++r) {
+      if (tableau.basis()[r] >= tableau.artificial_begin()) {
+        artificial_sum += tableau.rhs(r);
+      }
+    }
+    if (artificial_sum > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    std::vector<double> dummy(tableau.total_columns() + 1, 0.0);
+    tableau.purge_artificials(dummy);
+  }
+
+  // Phase 2: the true objective; artificial columns may not re-enter.
+  std::vector<double> phase2_costs(tableau.total_columns(), 0.0);
+  for (std::size_t c = 0; c < tableau.structural_columns(); ++c) phase2_costs[c] = lp.c[c];
+  const LpStatus status =
+      tableau.optimize(phase2_costs, options.max_iterations, options.stall_threshold,
+                       solution.iterations, /*forbid_artificial_entering=*/true);
+  solution.status = status;
+  if (status != LpStatus::kOptimal) return solution;
+
+  tableau.extract(solution.x);
+  solution.objective = 0.0;
+  for (std::size_t c = 0; c < solution.x.size(); ++c) {
+    solution.objective += lp.c[c] * solution.x[c];
+  }
+  return solution;
+}
+
+}  // namespace mf::lp

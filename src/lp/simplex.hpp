@@ -1,0 +1,48 @@
+// Dense two-phase primal simplex.
+//
+// This is the LP engine underneath the MIP solver that stands in for CPLEX
+// (Section 6.1). It minimizes c.x subject to A x (<=,=,>=) b with x >= 0.
+// Phase 1 minimizes the sum of artificial variables to find a basic feasible
+// solution; phase 2 optimizes the true objective. Pivoting uses Dantzig's
+// rule with an automatic switch to Bland's rule (which cannot cycle) after
+// a stall threshold. Sizes here are a few hundred rows/columns, where a
+// dense tableau is both simple and fast enough.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/matrix.hpp"
+
+namespace mf::lp {
+
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/// minimize c.x  s.t.  A x (rel) b,  x >= 0
+struct DenseLp {
+  support::Matrix a;           ///< constraint coefficients (rows x vars)
+  std::vector<double> b;       ///< right-hand sides
+  std::vector<Relation> rel;   ///< one relation per row
+  std::vector<double> c;       ///< objective coefficients (size vars)
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;       ///< primal values (size vars) when optimal
+  double objective = 0.0;
+  std::size_t iterations = 0;
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 20'000;
+  double tolerance = 1e-9;
+  /// After this many iterations without objective progress, switch to
+  /// Bland's anti-cycling rule.
+  std::size_t stall_threshold = 200;
+};
+
+[[nodiscard]] LpSolution solve_lp(const DenseLp& lp, const SimplexOptions& options = {});
+
+}  // namespace mf::lp

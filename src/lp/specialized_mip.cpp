@@ -1,0 +1,181 @@
+#include "lp/specialized_mip.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "core/failure.hpp"
+#include "support/check.hpp"
+
+namespace mf::lp {
+
+using core::MachineIndex;
+using core::TaskIndex;
+using core::TypeIndex;
+
+SpecializedMip build_specialized_mip(const core::Problem& problem) {
+  const std::size_t n = problem.task_count();
+  const std::size_t m = problem.machine_count();
+  const std::size_t p = problem.type_count();
+
+  const std::vector<double> max_x = core::max_expected_products(problem);
+  const double period_bound = core::period_upper_bound(problem);
+
+  SpecializedMip result;
+  MipModel& model = result.model;
+  SpecializedMipLayout& layout = result.layout;
+
+  layout.a_begin = model.variable_count();
+  for (TaskIndex i = 0; i < n; ++i) {
+    for (MachineIndex u = 0; u < m; ++u) {
+      model.add_binary("a_" + std::to_string(i) + "_" + std::to_string(u));
+    }
+  }
+  layout.t_begin = model.variable_count();
+  for (MachineIndex u = 0; u < m; ++u) {
+    for (TypeIndex j = 0; j < p; ++j) {
+      model.add_binary("t_" + std::to_string(u) + "_" + std::to_string(j));
+    }
+  }
+  layout.x_begin = model.variable_count();
+  for (TaskIndex i = 0; i < n; ++i) {
+    model.add_continuous("x_" + std::to_string(i), 0.0, max_x[i]);
+  }
+  layout.y_begin = model.variable_count();
+  for (TaskIndex i = 0; i < n; ++i) {
+    for (MachineIndex u = 0; u < m; ++u) {
+      model.add_continuous("y_" + std::to_string(i) + "_" + std::to_string(u), 0.0, max_x[i]);
+    }
+  }
+  layout.k_index = model.add_continuous("K", 0.0, period_bound, /*objective=*/1.0);
+
+  const auto a_var = [&](TaskIndex i, MachineIndex u) { return layout.a_begin + i * m + u; };
+  const auto t_var = [&](MachineIndex u, TypeIndex j) { return layout.t_begin + u * p + j; };
+  const auto x_var = [&](TaskIndex i) { return layout.x_begin + i; };
+  const auto y_var = [&](TaskIndex i, MachineIndex u) { return layout.y_begin + i * m + u; };
+
+  // (3) every task is mapped to exactly one machine.
+  for (TaskIndex i = 0; i < n; ++i) {
+    std::vector<Term> terms;
+    terms.reserve(m);
+    for (MachineIndex u = 0; u < m; ++u) terms.push_back({a_var(i, u), 1.0});
+    model.add_constraint("one_machine_" + std::to_string(i), std::move(terms),
+                         Relation::kEqual, 1.0);
+  }
+
+  // (4) every machine serves at most one type.
+  for (MachineIndex u = 0; u < m; ++u) {
+    std::vector<Term> terms;
+    terms.reserve(p);
+    for (TypeIndex j = 0; j < p; ++j) terms.push_back({t_var(u, j), 1.0});
+    model.add_constraint("one_type_" + std::to_string(u), std::move(terms),
+                         Relation::kLessEqual, 1.0);
+  }
+
+  // (5) a task may only run on a machine specialized to its type.
+  for (TaskIndex i = 0; i < n; ++i) {
+    for (MachineIndex u = 0; u < m; ++u) {
+      model.add_constraint(
+          "spec_" + std::to_string(i) + "_" + std::to_string(u),
+          {{a_var(i, u), 1.0}, {t_var(u, problem.app.type_of(i)), -1.0}},
+          Relation::kLessEqual, 0.0);
+    }
+  }
+
+  // (6) the x recursion, big-M linearized:
+  //     x_i >= F_{i,u} * x_succ(i) - (1 - a_{i,u}) * MAXx_i.
+  for (TaskIndex i = 0; i < n; ++i) {
+    const TaskIndex succ = problem.app.successor(i);
+    for (MachineIndex u = 0; u < m; ++u) {
+      const double factor = core::survival_inverse(problem.platform.failure(i, u));
+      std::vector<Term> terms{{x_var(i), 1.0}, {a_var(i, u), -max_x[i]}};
+      double rhs = -max_x[i];
+      if (succ == core::kNoTask) {
+        rhs += factor;  // x_succ == 1 for sinks
+      } else {
+        terms.push_back({x_var(succ), -factor});
+      }
+      model.add_constraint("recursion_" + std::to_string(i) + "_" + std::to_string(u),
+                           std::move(terms), Relation::kGreaterEqual, rhs);
+    }
+  }
+
+  // (7) per-machine load bounded by the period K.
+  for (MachineIndex u = 0; u < m; ++u) {
+    std::vector<Term> terms;
+    terms.reserve(n + 1);
+    for (TaskIndex i = 0; i < n; ++i) {
+      terms.push_back({y_var(i, u), problem.platform.time(i, u)});
+    }
+    terms.push_back({layout.k_index, -1.0});
+    model.add_constraint("period_" + std::to_string(u), std::move(terms),
+                         Relation::kLessEqual, 0.0);
+  }
+
+  // (8) y_{i,u} = a_{i,u} * x_i, linearized.
+  for (TaskIndex i = 0; i < n; ++i) {
+    for (MachineIndex u = 0; u < m; ++u) {
+      const std::string suffix = std::to_string(i) + "_" + std::to_string(u);
+      model.add_constraint("y_le_aM_" + suffix,
+                           {{y_var(i, u), 1.0}, {a_var(i, u), -max_x[i]}},
+                           Relation::kLessEqual, 0.0);
+      model.add_constraint("y_le_x_" + suffix, {{y_var(i, u), 1.0}, {x_var(i), -1.0}},
+                           Relation::kLessEqual, 0.0);
+      model.add_constraint("y_ge_x_aM_" + suffix,
+                           {{y_var(i, u), 1.0}, {x_var(i), -1.0}, {a_var(i, u), -max_x[i]}},
+                           Relation::kGreaterEqual, -max_x[i]);
+    }
+  }
+
+  return result;
+}
+
+MipScheduleResult solve_specialized_mip(const core::Problem& problem,
+                                        const MipOptions& options) {
+  MipScheduleResult result;
+  if (problem.type_count() > problem.machine_count()) {
+    result.status = MipStatus::kInfeasible;  // no specialized mapping exists
+    return result;
+  }
+
+  const SpecializedMip mip = build_specialized_mip(problem);
+  const MipResult mip_result = solve_mip(mip.model, options);
+  result.status = mip_result.status;
+  result.nodes = mip_result.nodes;
+  if (mip_result.status != MipStatus::kOptimal && mip_result.status != MipStatus::kFeasible) {
+    return result;
+  }
+
+  const std::size_t m = problem.machine_count();
+  std::vector<MachineIndex> assignment(problem.task_count(), core::kUnassigned);
+  for (TaskIndex i = 0; i < problem.task_count(); ++i) {
+    double best_value = -1.0;
+    for (MachineIndex u = 0; u < m; ++u) {
+      const double value = mip_result.x[mip.layout.a_begin + i * m + u];
+      if (value > best_value) {
+        best_value = value;
+        assignment[i] = u;
+      }
+    }
+    if (best_value <= 0.5) {
+      // Numerical degradation at larger model sizes (hundreds of dense
+      // rows) can leave the incumbent's a-row unusable. Report honestly
+      // instead of decoding garbage — the combinatorial solver
+      // (exact::solve_specialized_optimal) is the production exact path.
+      result.status = MipStatus::kBudgetExceeded;
+      result.mapping.reset();
+      return result;
+    }
+  }
+  core::Mapping mapping{std::move(assignment)};
+  if (!mapping.complies_with(core::MappingRule::kSpecialized, problem.app, m)) {
+    result.status = MipStatus::kBudgetExceeded;  // see the decode guard above
+    result.mapping.reset();
+    return result;
+  }
+  result.period = core::period(problem, mapping);
+  result.mip_objective = mip_result.objective;
+  result.mapping = std::move(mapping);
+  return result;
+}
+
+}  // namespace mf::lp

@@ -1,0 +1,59 @@
+// The Mixed Integer Program of Section 6.1, verbatim.
+//
+// Variables (i ranges over tasks, u over machines, j over types):
+//   a_{i,u} in {0,1}  — task i runs on machine u;
+//   t_{u,j} in {0,1}  — machine u is specialized to type j;
+//   x_i     >= 0      — expected products task i processes per output;
+//   y_{i,u} >= 0      — linearization of a_{i,u} * x_i;
+//   K       >= 0      — the period, minimized.
+// Constraints: (3) each task on exactly one machine; (4) each machine has
+// at most one type; (5) a_{i,u} <= t_{u,t(i)}; (6) the x recursion with a
+// big-M of MAXx_i; (7) per-machine load <= K via the y variables; (8) the
+// three-inequality product linearization of y = a * x.
+//
+// `solve_specialized_mip` runs the in-repo branch-and-bound (the CPLEX
+// substitute) on this model and decodes the a_{i,u} back into a Mapping.
+#pragma once
+
+#include <optional>
+
+#include "core/evaluation.hpp"
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+#include "lp/branch_and_bound.hpp"
+#include "lp/model.hpp"
+
+namespace mf::lp {
+
+/// Variable layout of the generated model, for tests and decoding.
+struct SpecializedMipLayout {
+  std::size_t a_begin = 0;  ///< a_{i,u} at a_begin + i*m + u
+  std::size_t t_begin = 0;  ///< t_{u,j} at t_begin + u*p + j
+  std::size_t x_begin = 0;  ///< x_i at x_begin + i
+  std::size_t y_begin = 0;  ///< y_{i,u} at y_begin + i*m + u
+  std::size_t k_index = 0;  ///< the period variable K
+};
+
+struct SpecializedMip {
+  MipModel model;
+  SpecializedMipLayout layout;
+};
+
+/// Builds the Section 6.1 model for a problem instance. Works for any
+/// in-tree application: constraint (6) uses the successor of each task
+/// (x = 1 downstream of a sink).
+[[nodiscard]] SpecializedMip build_specialized_mip(const core::Problem& problem);
+
+struct MipScheduleResult {
+  std::optional<core::Mapping> mapping;
+  double period = 0.0;           ///< evaluated period of the decoded mapping
+  double mip_objective = 0.0;    ///< the solver's K (equals period at optimum)
+  MipStatus status = MipStatus::kInfeasible;
+  std::uint64_t nodes = 0;
+};
+
+/// End-to-end: build the MIP, solve with branch-and-bound, decode a(i).
+[[nodiscard]] MipScheduleResult solve_specialized_mip(const core::Problem& problem,
+                                                      const MipOptions& options = {});
+
+}  // namespace mf::lp

@@ -1,0 +1,59 @@
+// Minimal time-ordered event queue for the discrete-event simulator.
+//
+// A binary min-heap on event time with FIFO tie-breaking via a monotone
+// sequence number, so simultaneous events are processed in insertion order
+// and runs are bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace mf::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    double time;
+    std::uint64_t sequence;
+    Payload payload;
+  };
+
+  void push(double time, Payload payload) {
+    MF_REQUIRE(time >= 0.0, "event time must be non-negative");
+    heap_.push_back({time, next_sequence_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] const Entry& top() const {
+    MF_REQUIRE(!heap_.empty(), "top on empty event queue");
+    return heap_.front();
+  }
+
+  Entry pop() {
+    MF_REQUIRE(!heap_.empty(), "pop on empty event queue");
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    return entry;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace mf::sim

@@ -1,0 +1,250 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "sim/event_queue.hpp"
+#include "support/check.hpp"
+
+namespace mf::sim {
+
+using core::kNoTask;
+using core::MachineIndex;
+using core::TaskIndex;
+
+std::vector<double> SimulationReport::empirical_products_per_output() const {
+  std::vector<double> x(per_task.size(), 0.0);
+  if (finished_products == 0) return x;
+  for (std::size_t i = 0; i < per_task.size(); ++i) {
+    x[i] = static_cast<double>(per_task[i].attempts) /
+           static_cast<double>(finished_products);
+  }
+  return x;
+}
+
+Simulator::Simulator(const core::Problem& problem, const core::Mapping& mapping)
+    : problem_(&problem), mapping_(mapping) {
+  MF_REQUIRE(mapping_.is_complete(problem.machine_count()),
+             "simulator needs a complete mapping");
+  MF_REQUIRE(mapping_.task_count() == problem.task_count(), "mapping size mismatch");
+  machine_tasks_ = mapping_.tasks_per_machine(problem.machine_count());
+
+  // Depth = hops to the sink. Machines serve their deepest-downstream ready
+  // task first, which keeps work-in-progress near the output and lets the
+  // line reach steady state quickly.
+  const std::size_t n = problem.task_count();
+  depth_.assign(n, 0);
+  for (TaskIndex i : problem.app.backward_order()) {
+    const TaskIndex succ = problem.app.successor(i);
+    depth_[i] = succ == kNoTask ? 0 : depth_[succ] + 1;
+  }
+  for (auto& tasks : machine_tasks_) {
+    std::sort(tasks.begin(), tasks.end(),
+              [this](TaskIndex a, TaskIndex b) { return depth_[a] < depth_[b]; });
+  }
+
+  output_slot_.assign(n, 0);
+  for (TaskIndex i = 0; i < n; ++i) {
+    const TaskIndex succ = problem.app.successor(i);
+    if (succ == kNoTask) continue;
+    const auto& preds = problem.app.predecessors(succ);
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      if (preds[k] == i) {
+        output_slot_[i] = k;
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Either `machine` finishes processing one product of `task`, or it
+/// comes back up from a repair (task == kNoTask).
+struct MachineEvent {
+  MachineIndex machine;
+  TaskIndex task;
+
+  [[nodiscard]] bool is_repair_done() const { return task == kNoTask; }
+};
+
+}  // namespace
+
+SimulationReport Simulator::run(const SimulationConfig& config, const TraceHook& trace) const {
+  const core::Problem& problem = *problem_;
+  const std::size_t n = problem.task_count();
+  const std::size_t m = problem.machine_count();
+  MF_REQUIRE(config.warmup_outputs < config.target_outputs || config.target_outputs == 0,
+             "warmup must be smaller than the output target");
+
+  support::Rng rng(config.seed);
+
+  // edge_buffer[i][k]: products waiting at task i coming from its k-th
+  // predecessor. Source tasks have no predecessors and unlimited input.
+  std::vector<std::vector<std::uint64_t>> edge_buffer(n);
+  for (TaskIndex i = 0; i < n; ++i) {
+    edge_buffer[i].assign(problem.app.predecessors(i).size(), 0);
+  }
+
+  // Finite raw-material counters per source task (batch mode); kNoLimit in
+  // saturation mode.
+  constexpr std::uint64_t kNoLimit = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> source_remaining(n, kNoLimit);
+  if (config.source_supply != 0) {
+    for (TaskIndex src : problem.app.sources()) source_remaining[src] = config.source_supply;
+  }
+
+  auto ready_units = [&](TaskIndex i) -> std::uint64_t {
+    const auto& buffers = edge_buffer[i];
+    if (buffers.empty()) return source_remaining[i];  // source task
+    std::uint64_t units = kNoLimit;
+    for (std::uint64_t b : buffers) units = std::min(units, b);
+    return units;
+  };
+
+  // Output-side blocking: task i may only start while the buffer slot it
+  // feeds holds fewer than the WIP cap. output_slot_[i] was precomputed.
+  const std::uint64_t wip_cap =
+      config.max_wip_per_edge == 0 ? kNoLimit : config.max_wip_per_edge;
+  auto output_free = [&](TaskIndex i) -> bool {
+    const TaskIndex succ = problem.app.successor(i);
+    if (succ == kNoTask) return true;  // finished products leave the system
+    return edge_buffer[succ][output_slot_[i]] < wip_cap;
+  };
+
+  SimulationReport report;
+  report.per_task.assign(n, {});
+  report.machine_busy_time.assign(m, 0.0);
+  report.machine_down_time.assign(m, 0.0);
+
+  std::vector<bool> machine_busy(m, false);
+  std::vector<bool> machine_down(m, false);
+  EventQueue<MachineEvent> events;
+  double now = 0.0;
+  double warmup_end_time = 0.0;
+
+  // Transient machine downtime (disabled when mean_uptime_ms == 0): each
+  // machine carries the time of its next breakdown; crossing it while idle
+  // triggers a repair phase.
+  const bool downtime_enabled = config.mean_uptime_ms > 0.0;
+  std::vector<double> next_breakdown(m, std::numeric_limits<double>::infinity());
+  if (downtime_enabled) {
+    for (MachineIndex u = 0; u < m; ++u) {
+      next_breakdown[u] = rng.exponential(config.mean_uptime_ms);
+    }
+  }
+
+  // Machines whose blocked producers may have been released by a buffer
+  // consumption; drained after every start to propagate wake-ups without
+  // recursion.
+  std::vector<MachineIndex> wake_queue;
+
+  // Starts the next ready, non-blocked task on an idle machine
+  // (deepest-first order; safe against branch starvation thanks to the
+  // WIP cap).
+  auto try_start_one = [&](MachineIndex u) {
+    if (machine_busy[u] || machine_down[u]) return;
+    if (downtime_enabled && now >= next_breakdown[u]) {
+      const double repair = rng.exponential(config.mean_repair_ms);
+      machine_down[u] = true;
+      report.machine_down_time[u] += repair;
+      next_breakdown[u] = now + repair + rng.exponential(config.mean_uptime_ms);
+      events.push(now + repair, {u, kNoTask});
+      return;
+    }
+    for (TaskIndex i : machine_tasks_[u]) {
+      if (ready_units(i) == 0) continue;
+      if (!output_free(i)) continue;  // blocked: downstream buffer full
+      // Consume one product from every predecessor branch (join semantics),
+      // or one unit of raw material at a source in batch mode.
+      for (std::uint64_t& b : edge_buffer[i]) --b;
+      if (edge_buffer[i].empty() && source_remaining[i] != kNoLimit) --source_remaining[i];
+      ++report.per_task[i].attempts;
+      machine_busy[u] = true;
+      const double duration = problem.platform.time(i, u);
+      report.machine_busy_time[u] += duration;
+      events.push(now + duration, {u, i});
+      if (trace) trace({TraceEvent::Kind::kStart, now, i, u});
+      // Consuming inputs may unblock the producers feeding this task.
+      for (TaskIndex pred : problem.app.predecessors(i)) {
+        wake_queue.push_back(mapping_.machine_of(pred));
+      }
+      return;
+    }
+  };
+
+  auto try_start = [&](MachineIndex u) {
+    try_start_one(u);
+    while (!wake_queue.empty()) {
+      const MachineIndex next = wake_queue.back();
+      wake_queue.pop_back();
+      try_start_one(next);
+    }
+  };
+
+  for (MachineIndex u = 0; u < m; ++u) try_start(u);
+
+  while (!events.empty()) {
+    const auto entry = events.pop();
+    now = entry.time;
+    if (now > config.max_time) {
+      now = config.max_time;
+      break;
+    }
+    const auto [u, i] = entry.payload;
+    if (entry.payload.is_repair_done()) {
+      machine_down[u] = false;
+      try_start(u);
+      continue;
+    }
+    machine_busy[u] = false;
+
+    if (rng.bernoulli(problem.platform.failure(i, u))) {
+      ++report.per_task[i].losses;
+      if (trace) trace({TraceEvent::Kind::kLoss, now, i, u});
+    } else {
+      ++report.per_task[i].successes;
+      if (trace) trace({TraceEvent::Kind::kSuccess, now, i, u});
+      const TaskIndex succ = problem.app.successor(i);
+      if (succ == kNoTask) {
+        ++report.finished_products;
+        if (trace) trace({TraceEvent::Kind::kOutput, now, i, u});
+        if (report.finished_products == config.warmup_outputs) warmup_end_time = now;
+        if (config.target_outputs != 0 &&
+            report.finished_products >= config.target_outputs) {
+          report.reached_target = true;
+          break;
+        }
+      } else {
+        ++edge_buffer[succ][output_slot_[i]];
+        // The successor's machine may have been starved; wake it.
+        try_start(mapping_.machine_of(succ));
+      }
+    }
+    try_start(u);
+  }
+
+  report.end_time = now;
+  if (report.finished_products > config.warmup_outputs && now > warmup_end_time) {
+    const auto measured =
+        static_cast<double>(report.finished_products - config.warmup_outputs);
+    report.measured_period = (now - warmup_end_time) / measured;
+    report.measured_throughput = 1.0 / report.measured_period;
+  }
+  report.machine_utilization.assign(m, 0.0);
+  if (now > 0.0) {
+    for (MachineIndex u = 0; u < m; ++u) {
+      // busy_time was accumulated at start; clip to the horizon for tasks
+      // still in flight at termination.
+      report.machine_utilization[u] = std::min(1.0, report.machine_busy_time[u] / now);
+    }
+  }
+  return report;
+}
+
+double simulate_period(const core::Problem& problem, const core::Mapping& mapping,
+                       const SimulationConfig& config) {
+  const Simulator simulator(problem, mapping);
+  return simulator.run(config).measured_period;
+}
+
+}  // namespace mf::sim

@@ -1,0 +1,47 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// MF_REQUIRE is for violations of a public API contract (throws
+// std::invalid_argument); MF_CHECK is for internal invariants (throws
+// std::logic_error). Both are always on: the library is a research
+// artifact where a silent wrong answer is far worse than an exception.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mf::support {
+
+[[noreturn]] inline void throw_require_failure(const char* expr, const char* file, int line,
+                                               const std::string& msg) {
+  std::ostringstream os;
+  os << "MF_REQUIRE(" << expr << ") failed at " << file << ":" << line;
+  if (!msg.empty()) os << ": " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "MF_CHECK(" << expr << ") failed at " << file << ":" << line;
+  if (!msg.empty()) os << ": " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace mf::support
+
+#define MF_REQUIRE(expr, ...)                                                            \
+  do {                                                                                   \
+    if (!(expr)) {                                                                       \
+      ::mf::support::throw_require_failure(#expr, __FILE__, __LINE__,                    \
+                                           ::std::string{__VA_ARGS__});                  \
+    }                                                                                    \
+  } while (false)
+
+#define MF_CHECK(expr, ...)                                                              \
+  do {                                                                                   \
+    if (!(expr)) {                                                                       \
+      ::mf::support::throw_check_failure(#expr, __FILE__, __LINE__,                      \
+                                         ::std::string{__VA_ARGS__});                    \
+    }                                                                                    \
+  } while (false)

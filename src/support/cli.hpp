@@ -1,0 +1,36 @@
+// Tiny command-line flag parser used by the example programs.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Deliberately small: examples should read like scripts, not frameworks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mf::support {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mf::support

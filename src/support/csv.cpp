@@ -1,0 +1,51 @@
+#include "support/csv.hpp"
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace mf::support {
+
+namespace {
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  MF_REQUIRE(out_.is_open(), "cannot open CSV file: " + path);
+  MF_REQUIRE(columns_ > 0, "CSV needs at least one column");
+  emit(header);
+  rows_ = 0;  // header does not count
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  MF_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
+  emit(cells);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(format_double(v, precision));
+  write_row(text);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << escape(cells[c]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+}  // namespace mf::support

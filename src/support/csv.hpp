@@ -1,0 +1,28 @@
+// Minimal CSV file writer for experiment series dumps.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mf::support {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row immediately.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells, int precision = 6);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace mf::support

@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (scenario generation, the H1
+// random heuristic, the discrete-event simulator) draws from an explicit
+// `Rng` so that experiments are bit-reproducible from a 64-bit seed. The
+// generator is xoshiro256** seeded through SplitMix64, the combination
+// recommended by the xoshiro authors; it is much faster than std::mt19937_64
+// and has no measurable bias for the uniform ranges used here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace mf::support {
+
+/// SplitMix64 step: used both as a standalone mixing function (stable
+/// hashing of seed material) and to expand a single seed into the 256-bit
+/// xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes two 64-bit values into one; used to derive independent per-stream
+/// seeds (e.g. one stream per trial of an experiment) from a base seed.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (0x9E3779B97F4A7C15ULL + (b << 6) + (b >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator so it
+/// can also feed <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi], via Lemire rejection.
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli draw: true with probability p (p clamped to [0,1]).
+  [[nodiscard]] constexpr bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponentially distributed draw with the given mean (inverse
+  /// transform); mean <= 0 returns 0.
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Derives a statistically independent child generator; `stream` selects
+  /// the substream. Used to give each parallel trial its own generator.
+  [[nodiscard]] constexpr Rng split(std::uint64_t stream) const noexcept {
+    std::uint64_t material = state_[0] ^ rotl(state_[2], 13);
+    return Rng{mix_seed(material, stream)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mf::support

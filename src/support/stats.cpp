@@ -1,0 +1,80 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mf::support {
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination of Welford accumulators.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Summary RunningStats::summary() const noexcept {
+  Summary s;
+  s.count = count_;
+  s.mean = mean_;
+  s.stddev = stddev();
+  s.min = min_;
+  s.max = max_;
+  if (count_ >= 2) {
+    s.ci95_half_width = 1.96 * s.stddev / std::sqrt(static_cast<double>(count_));
+  }
+  return s;
+}
+
+Summary summarize(std::span<const double> samples) noexcept {
+  RunningStats rs;
+  for (double v : samples) rs.add(v);
+  return rs.summary();
+}
+
+double quantile(std::vector<double> samples, double q) {
+  MF_REQUIRE(!samples.empty(), "quantile of empty sample set");
+  MF_REQUIRE(q >= 0.0 && q <= 1.0, "quantile fraction out of [0,1]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace mf::support

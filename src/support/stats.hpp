@@ -1,0 +1,51 @@
+// Streaming statistics used by the experiment harness and the simulator.
+//
+// `RunningStats` implements Welford's online algorithm (numerically stable
+// single-pass mean/variance); `Summary` is its frozen snapshot including a
+// normal-approximation confidence interval, which is what EXPERIMENTS.md
+// reports for each figure point.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mf::support {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double ci95_half_width = 0.0;  ///< 1.96 * stddev / sqrt(n); 0 when n < 2
+};
+
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] Summary summary() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: summarize a batch of samples.
+[[nodiscard]] Summary summarize(std::span<const double> samples) noexcept;
+
+/// Quantile by linear interpolation on a *copy* of the data (q in [0,1]).
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+}  // namespace mf::support

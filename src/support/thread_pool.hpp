@@ -1,0 +1,65 @@
+// Work-sharing thread pool and a chunked parallel_for on top of it.
+//
+// The experiment harness replicates each figure point over 30+ independent
+// trials; those replications are embarrassingly parallel, so the runner
+// shards them across a pool. The pool size honours the MF_THREADS
+// environment variable and falls back to std::thread::hardware_concurrency.
+// All solvers in the library are stateless/thread-safe so trials never
+// contend on anything but the pool queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mf::support {
+
+/// Number of worker threads to use: MF_THREADS if set and positive,
+/// otherwise hardware_concurrency (at least 1).
+[[nodiscard]] std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across the pool in contiguous chunks.
+/// Exceptions from any chunk are rethrown (first one wins). With a
+/// single-threaded pool this degrades to a plain loop, so call sites never
+/// need a serial fallback path.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// One-shot convenience that builds a pool of `default_thread_count()`
+/// workers. Suitable for coarse-grained work (each body call >= ~100us).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace mf::support

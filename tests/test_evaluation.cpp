@@ -1,0 +1,191 @@
+// Tests for the analytic evaluation: x_i recursion, machine periods,
+// critical machines, bounds, input planning. Includes hand-computed
+// references and property sweeps over random mappings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluation.hpp"
+#include "exp/scenario.hpp"
+#include "support/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace mf::core {
+namespace {
+
+// tiny_chain_problem: chain T0(type0)->T1(type1)->T2(type0);
+// w rows {100,200,300},{150,120,250},{100,200,300};
+// f rows {.01,.02,.05},{.02,.01,.03},{.01,.02,.05}.
+
+TEST(Evaluation, HandComputedChain) {
+  const Problem problem = test::tiny_chain_problem();
+  const Mapping mapping{{0, 1, 0}};
+
+  const std::vector<double> x = expected_products(problem, mapping);
+  const double x2 = 1.0 / 0.99;
+  const double x1 = x2 / 0.99;
+  const double x0 = x1 / 0.99;
+  EXPECT_NEAR(x[2], x2, 1e-12);
+  EXPECT_NEAR(x[1], x1, 1e-12);
+  EXPECT_NEAR(x[0], x0, 1e-12);
+
+  const std::vector<double> periods = machine_periods(problem, mapping);
+  EXPECT_NEAR(periods[0], x0 * 100.0 + x2 * 100.0, 1e-9);
+  EXPECT_NEAR(periods[1], x1 * 120.0, 1e-9);
+  EXPECT_DOUBLE_EQ(periods[2], 0.0);
+
+  EXPECT_NEAR(period(problem, mapping), x0 * 100.0 + x2 * 100.0, 1e-9);
+  EXPECT_NEAR(throughput(problem, mapping), 1.0 / (x0 * 100.0 + x2 * 100.0), 1e-12);
+}
+
+TEST(Evaluation, ZeroFailureMakesXOne) {
+  const Problem problem = test::uniform_problem({0, 0, 0}, 3, 100.0, 0.0);
+  const Mapping mapping{{0, 1, 2}};
+  for (double x : expected_products(problem, mapping)) EXPECT_DOUBLE_EQ(x, 1.0);
+  EXPECT_DOUBLE_EQ(period(problem, mapping), 100.0);
+}
+
+TEST(Evaluation, JoinPullsFromBothBranches) {
+  // T0 -> T2 <- T1 (join at T2).
+  Application app = Application::from_successors({0, 1, 0}, {2, 2, kNoTask});
+  Platform platform = test::make_platform(
+      {{100, 200, 300}, {150, 120, 250}, {100, 200, 300}},
+      {{0.01, 0.02, 0.05}, {0.02, 0.01, 0.03}, {0.01, 0.02, 0.05}});
+  const Problem problem{std::move(app), std::move(platform)};
+  const Mapping mapping{{0, 1, 2}};
+
+  const std::vector<double> x = expected_products(problem, mapping);
+  const double x2 = 1.0 / 0.95;  // f(2, M2) = 0.05
+  EXPECT_NEAR(x[2], x2, 1e-12);
+  EXPECT_NEAR(x[0], x2 / 0.99, 1e-12);  // branch through T0
+  EXPECT_NEAR(x[1], x2 / 0.99, 1e-12);  // branch through T1
+
+  const std::vector<double> periods = machine_periods(problem, mapping);
+  EXPECT_NEAR(periods[2], x2 * 300.0, 1e-9);
+}
+
+TEST(Evaluation, CriticalMachinesIdentified) {
+  const Problem problem = test::tiny_chain_problem();
+  const Mapping mapping{{0, 1, 0}};
+  const auto critical = critical_machines(problem, mapping);
+  ASSERT_EQ(critical.size(), 1u);
+  EXPECT_EQ(critical[0], 0u);
+}
+
+TEST(Evaluation, AllMachinesCriticalWhenSymmetric) {
+  const Problem problem = test::uniform_problem({0, 1, 2}, 3, 100.0, 0.0);
+  const Mapping mapping{{0, 1, 2}};
+  EXPECT_EQ(critical_machines(problem, mapping).size(), 3u);
+}
+
+TEST(Evaluation, MaxExpectedProductsUsesWorstMachine) {
+  const Problem problem = test::tiny_chain_problem();
+  const std::vector<double> max_x = max_expected_products(problem);
+  // Worst f per task: T2 -> 0.05, T1 -> 0.03, T0 -> 0.05.
+  EXPECT_NEAR(max_x[2], 1.0 / 0.95, 1e-12);
+  EXPECT_NEAR(max_x[1], (1.0 / 0.95) / 0.97, 1e-12);
+  EXPECT_NEAR(max_x[0], (1.0 / 0.95) / 0.97 / 0.95, 1e-12);
+}
+
+TEST(Evaluation, MaxExpectedDominatesAnyMapping) {
+  const Problem problem = test::tiny_chain_problem();
+  const std::vector<double> max_x = max_expected_products(problem);
+  // All 27 general mappings.
+  for (MachineIndex a = 0; a < 3; ++a) {
+    for (MachineIndex b = 0; b < 3; ++b) {
+      for (MachineIndex c = 0; c < 3; ++c) {
+        const Mapping mapping{{a, b, c}};
+        const std::vector<double> x = expected_products(problem, mapping);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          EXPECT_LE(x[i], max_x[i] + 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(Evaluation, PeriodUpperBoundDominatesAnyMapping) {
+  const Problem problem = test::tiny_chain_problem();
+  const double bound = period_upper_bound(problem);
+  for (MachineIndex a = 0; a < 3; ++a) {
+    for (MachineIndex b = 0; b < 3; ++b) {
+      for (MachineIndex c = 0; c < 3; ++c) {
+        EXPECT_LE(period(problem, Mapping{{a, b, c}}), bound + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Evaluation, ExpectedInputsScaleWithTarget) {
+  const Problem problem = test::tiny_chain_problem();
+  const Mapping mapping{{0, 1, 0}};
+  const std::vector<double> x = expected_products(problem, mapping);
+  const auto inputs = expected_inputs_for(problem, mapping, 100.0);
+  ASSERT_EQ(inputs.size(), 1u);  // one source
+  EXPECT_NEAR(inputs[0], 100.0 * x[0], 1e-9);
+  EXPECT_THROW(expected_inputs_for(problem, mapping, -1.0), std::invalid_argument);
+}
+
+TEST(Evaluation, JoinInputsPerBranch) {
+  Application app = Application::from_successors({0, 1, 0}, {2, 2, kNoTask});
+  Platform platform = test::make_platform(
+      {{100, 200, 300}, {150, 120, 250}, {100, 200, 300}},
+      {{0.01, 0.02, 0.05}, {0.02, 0.01, 0.03}, {0.01, 0.02, 0.05}});
+  const Problem problem{std::move(app), std::move(platform)};
+  const auto inputs = expected_inputs_for(problem, Mapping{{0, 1, 2}}, 10.0);
+  ASSERT_EQ(inputs.size(), 2u);  // two sources: one per branch
+  EXPECT_GT(inputs[0], 10.0);
+  EXPECT_GT(inputs[1], 10.0);
+}
+
+TEST(Evaluation, RejectsIncompleteMapping) {
+  const Problem problem = test::tiny_chain_problem();
+  EXPECT_THROW(expected_products(problem, Mapping{{0, 9, 0}}), std::invalid_argument);
+  EXPECT_THROW(expected_products(problem, Mapping{{0, 1}}), std::invalid_argument);
+}
+
+/// Property: on random instances, x is monotone along the chain
+/// (upstream tasks always need at least as many products) and the period
+/// equals the max machine period.
+class EvaluationPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvaluationPropertyTest, ChainMonotonicityAndConsistency) {
+  exp::Scenario scenario;
+  scenario.tasks = 12;
+  scenario.machines = 5;
+  scenario.types = 3;
+  const Problem problem = exp::generate(scenario, GetParam());
+  support::Rng rng(GetParam() ^ 0xABCD);
+
+  // Random general mapping.
+  std::vector<MachineIndex> assignment(problem.task_count());
+  for (auto& a : assignment) a = rng.uniform_u64(0, problem.machine_count() - 1);
+  const Mapping mapping{assignment};
+
+  const std::vector<double> x = expected_products(problem, mapping);
+  for (TaskIndex i = 0; i + 1 < problem.task_count(); ++i) {
+    EXPECT_GE(x[i], x[i + 1]);  // upstream needs at least as many products
+    EXPECT_GE(x[i], 1.0);
+  }
+  const std::vector<double> periods = machine_periods(problem, mapping);
+  double total = 0.0;
+  double max_p = 0.0;
+  for (double p : periods) {
+    total += p;
+    max_p = std::max(max_p, p);
+  }
+  EXPECT_NEAR(period(problem, mapping), max_p, 1e-9);
+  EXPECT_LE(max_p, period_upper_bound(problem) + 1e-9);
+  // Total work is conserved: sum of machine periods == sum x_i w_i.
+  double expected_total = 0.0;
+  for (TaskIndex i = 0; i < problem.task_count(); ++i) {
+    expected_total += x[i] * problem.platform.time(i, mapping.machine_of(i));
+  }
+  EXPECT_NEAR(total, expected_total, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluationPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mf::core

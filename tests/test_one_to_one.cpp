@@ -1,0 +1,132 @@
+// Tests for the polynomial one-to-one solvers (Theorem 1 and the Figure 9
+// "OtO" case), validated against exhaustive one-to-one enumeration.
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/one_to_one.hpp"
+#include "exp/scenario.hpp"
+#include "test_helpers.hpp"
+
+namespace mf::exact {
+namespace {
+
+using core::MappingRule;
+using core::Problem;
+
+Problem homogeneous_instance(std::uint64_t seed, std::size_t n, std::size_t m) {
+  exp::Scenario scenario;
+  scenario.tasks = n;
+  scenario.machines = m;
+  scenario.types = std::min<std::size_t>(n, 2);
+  scenario.time_min_ms = 100.0;
+  scenario.time_max_ms = 100.0;  // w_{i,u} = w: Theorem 1's precondition
+  const Problem base = exp::generate(scenario, seed);
+  return base;
+}
+
+TEST(Preconditions, DetectHomogeneousTimes) {
+  EXPECT_TRUE(has_homogeneous_times(homogeneous_instance(1, 4, 5)));
+  EXPECT_FALSE(has_homogeneous_times(test::tiny_chain_problem()));
+}
+
+TEST(Preconditions, DetectMachineIndependentFailures) {
+  exp::Scenario scenario;
+  scenario.tasks = 4;
+  scenario.machines = 5;
+  scenario.types = 2;
+  scenario.failure_attachment = exp::FailureAttachment::kTaskOnly;
+  EXPECT_TRUE(has_machine_independent_failures(exp::generate(scenario, 1)));
+  scenario.failure_attachment = exp::FailureAttachment::kTypeMachine;
+  EXPECT_FALSE(has_machine_independent_failures(exp::generate(scenario, 1)));
+}
+
+TEST(TheoremOne, RequiresPreconditions) {
+  const Problem hetero = test::tiny_chain_problem();
+  EXPECT_THROW(optimal_one_to_one_homogeneous(hetero), std::invalid_argument);
+
+  // n > m rejected.
+  const Problem big = homogeneous_instance(2, 6, 4);
+  EXPECT_THROW(optimal_one_to_one_homogeneous(big), std::invalid_argument);
+}
+
+class TheoremOneRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TheoremOneRandomTest, MatchesBruteForceOneToOne) {
+  const Problem problem = homogeneous_instance(GetParam(), 5, 6);
+  const OneToOneSolution solution = optimal_one_to_one_homogeneous(problem);
+  EXPECT_TRUE(solution.mapping.complies_with(MappingRule::kOneToOne, problem.app,
+                                             problem.machine_count()));
+  const BruteForceResult reference = brute_force_optimal(problem, MappingRule::kOneToOne);
+  ASSERT_TRUE(reference.mapping.has_value());
+  EXPECT_NEAR(solution.period, reference.period, 1e-9 * reference.period)
+      << "Hungarian must find the optimal one-to-one period";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremOneRandomTest, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(TaskFailures, RequiresPreconditions) {
+  const Problem coupled = test::tiny_chain_problem();
+  EXPECT_THROW(optimal_one_to_one_task_failures(coupled), std::invalid_argument);
+}
+
+class TaskFailureRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TaskFailureRandomTest, MatchesBruteForceOneToOne) {
+  exp::Scenario scenario;
+  scenario.tasks = 5;
+  scenario.machines = 6;
+  scenario.types = 3;
+  scenario.failure_attachment = exp::FailureAttachment::kTaskOnly;
+  const Problem problem = exp::generate(scenario, GetParam());
+
+  const OneToOneSolution solution = optimal_one_to_one_task_failures(problem);
+  EXPECT_TRUE(solution.mapping.complies_with(MappingRule::kOneToOne, problem.app,
+                                             problem.machine_count()));
+  const BruteForceResult reference = brute_force_optimal(problem, MappingRule::kOneToOne);
+  ASSERT_TRUE(reference.mapping.has_value());
+  EXPECT_NEAR(solution.period, reference.period, 1e-9 * reference.period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaskFailureRandomTest, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(TaskFailures, ScalesToFigureNineSize) {
+  // Fig 9 runs m = n = 100; make sure the solver handles it comfortably.
+  exp::Scenario scenario;
+  scenario.tasks = 100;
+  scenario.machines = 100;
+  scenario.types = 20;
+  scenario.failure_attachment = exp::FailureAttachment::kTaskOnly;
+  const Problem problem = exp::generate(scenario, 42);
+  const OneToOneSolution solution = optimal_one_to_one_task_failures(problem);
+  EXPECT_TRUE(solution.mapping.complies_with(MappingRule::kOneToOne, problem.app,
+                                             problem.machine_count()));
+  EXPECT_GT(solution.period, 0.0);
+}
+
+TEST(BruteForce, OneToOneRequiresEnoughMachines) {
+  const Problem problem = test::uniform_problem({0, 0, 0}, 2);
+  EXPECT_THROW(brute_force_optimal(problem, MappingRule::kOneToOne), std::invalid_argument);
+}
+
+TEST(BruteForce, CountsEvaluations) {
+  const Problem problem = test::uniform_problem({0, 0}, 3);
+  const BruteForceResult oto = brute_force_optimal(problem, MappingRule::kOneToOne);
+  EXPECT_EQ(oto.evaluated, 6u);  // 3 * 2 injective assignments
+  const BruteForceResult general = brute_force_optimal(problem, MappingRule::kGeneral);
+  EXPECT_EQ(general.evaluated, 9u);  // 3^2
+}
+
+TEST(BruteForce, SpecializedRespectsRule) {
+  const Problem problem = test::tiny_chain_problem();  // types 0,1,0 on 3 machines
+  const BruteForceResult result = brute_force_optimal(problem, MappingRule::kSpecialized);
+  ASSERT_TRUE(result.mapping.has_value());
+  EXPECT_TRUE(result.mapping->complies_with(MappingRule::kSpecialized, problem.app,
+                                            problem.machine_count()));
+  // General relaxation can only be at least as good.
+  const BruteForceResult general = brute_force_optimal(problem, MappingRule::kGeneral);
+  EXPECT_LE(general.period, result.period + 1e-12);
+}
+
+}  // namespace
+}  // namespace mf::exact

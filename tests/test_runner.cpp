@@ -1,0 +1,179 @@
+// Tests for the sweep runner and figure specifications: paired trials,
+// aggregation, failure protocol, tables/charts/ratios, and that each figure
+// spec encodes the paper's parameters.
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exp/figures.hpp"
+#include "exp/method.hpp"
+#include "exp/runner.hpp"
+
+namespace mf::exp {
+namespace {
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.name = "tiny";
+  spec.base.machines = 4;
+  spec.base.types = 2;
+  spec.variable = SweepVariable::kTasks;
+  spec.values = {4, 6};
+  spec.methods = heuristic_methods({"H2", "H4w"});
+  spec.trials = 5;
+  spec.max_trials = 5;
+  spec.base_seed = 99;
+  return spec;
+}
+
+TEST(Runner, ProducesOnePointPerValue) {
+  const SweepResult result = run_sweep(tiny_spec());
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.points[0].sweep_value, 4u);
+  EXPECT_EQ(result.points[1].sweep_value, 6u);
+  for (const PointResult& point : result.points) {
+    EXPECT_EQ(point.successes, 5u);
+    for (const auto& [name, summary] : point.period_by_method) {
+      EXPECT_EQ(summary.count, 5u) << name;
+      EXPECT_GT(summary.mean, 0.0) << name;
+    }
+  }
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  const SweepResult a = run_sweep(tiny_spec());
+  const SweepResult b = run_sweep(tiny_spec());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    for (const auto& [name, summary] : a.points[p].period_by_method) {
+      EXPECT_DOUBLE_EQ(summary.mean, b.points[p].period_by_method.at(name).mean) << name;
+    }
+  }
+}
+
+TEST(Runner, ParallelMatchesSerial) {
+  const SweepResult serial = run_sweep(tiny_spec());
+  support::ThreadPool pool(4);
+  const SweepResult parallel = run_sweep(tiny_spec(), &pool);
+  for (std::size_t p = 0; p < serial.points.size(); ++p) {
+    for (const auto& [name, summary] : serial.points[p].period_by_method) {
+      EXPECT_DOUBLE_EQ(summary.mean, parallel.points[p].period_by_method.at(name).mean);
+    }
+  }
+}
+
+TEST(Runner, PairedDesignGivesIdenticalPeriodsForIdenticalMethods) {
+  SweepSpec spec = tiny_spec();
+  // The same deterministic heuristic twice under different names: with a
+  // paired design both columns must agree exactly on every point.
+  spec.methods = heuristic_methods({"H4w"});
+  Method clone = method_from_heuristic(heuristics::heuristic_by_name("H4w"));
+  clone.name = "H4w-clone";
+  spec.methods.push_back(clone);
+  const SweepResult result = run_sweep(spec);
+  for (const PointResult& point : result.points) {
+    EXPECT_DOUBLE_EQ(point.period_by_method.at("H4w").mean,
+                     point.period_by_method.at("H4w-clone").mean);
+  }
+}
+
+TEST(Runner, FailingMethodTriggersRetryProtocol) {
+  SweepSpec spec = tiny_spec();
+  spec.trials = 3;
+  spec.max_trials = 9;
+  // A method that fails on every instance: no successes, attempts maxed.
+  Method always_fails;
+  always_fails.name = "never";
+  always_fails.solve = [](const core::Problem&, support::Rng&) {
+    return std::optional<core::Mapping>{};
+  };
+  spec.methods.push_back(always_fails);
+  const SweepResult result = run_sweep(spec);
+  for (const PointResult& point : result.points) {
+    EXPECT_EQ(point.successes, 0u);
+    EXPECT_EQ(point.attempts, 9u);
+  }
+}
+
+TEST(Runner, TableAndChartRender) {
+  const SweepResult result = run_sweep(tiny_spec());
+  const support::Table table = result.to_table();
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string chart = result.to_chart();
+  EXPECT_NE(chart.find("H2"), std::string::npos);
+  EXPECT_NE(chart.find("H4w"), std::string::npos);
+}
+
+TEST(Runner, RatiosAgainstReference) {
+  SweepSpec spec = tiny_spec();
+  spec.methods = heuristic_methods({"H1", "H4w"});
+  const SweepResult result = run_sweep(spec);
+  const auto ratios = result.mean_ratio_to("H4w");
+  ASSERT_TRUE(ratios.count("H1"));
+  EXPECT_GT(ratios.at("H1"), 1.0) << "H1 should be worse than H4w on average";
+}
+
+TEST(Runner, Validation) {
+  SweepSpec spec = tiny_spec();
+  spec.methods.clear();
+  EXPECT_THROW(run_sweep(spec), std::invalid_argument);
+  spec = tiny_spec();
+  spec.values.clear();
+  EXPECT_THROW(run_sweep(spec), std::invalid_argument);
+  spec = tiny_spec();
+  spec.max_trials = 1;  // < trials
+  EXPECT_THROW(run_sweep(spec), std::invalid_argument);
+}
+
+TEST(Figures, SpecsMatchPaperParameters) {
+  const SweepSpec f5 = figure5_spec();
+  EXPECT_EQ(f5.base.machines, 50u);
+  EXPECT_EQ(f5.base.types, 5u);
+  EXPECT_EQ(f5.values.front(), 50u);
+  EXPECT_EQ(f5.values.back(), 150u);
+  EXPECT_EQ(f5.methods.size(), 6u);
+  EXPECT_EQ(f5.trials, 30u);
+
+  const SweepSpec f8 = figure8_spec();
+  EXPECT_DOUBLE_EQ(f8.base.failure_min, 0.0);
+  EXPECT_DOUBLE_EQ(f8.base.failure_max, 0.10);
+
+  const SweepSpec f9 = figure9_spec();
+  EXPECT_EQ(f9.base.machines, 100u);
+  EXPECT_EQ(f9.base.tasks, 100u);
+  EXPECT_EQ(f9.variable, SweepVariable::kTypes);
+  EXPECT_EQ(f9.base.failure_attachment, FailureAttachment::kTaskOnly);
+  EXPECT_EQ(f9.methods.back().name, "OtO");
+  EXPECT_EQ(f9.trials, 100u);
+
+  const SweepSpec f10 = figure10_spec();
+  EXPECT_EQ(f10.base.machines, 5u);
+  EXPECT_EQ(f10.base.types, 2u);
+  EXPECT_EQ(f10.max_trials, 60u) << "the 30-of-60 MIP success protocol";
+  EXPECT_EQ(f10.methods.back().name, "MIP");
+
+  const SweepSpec f12 = figure12_spec();
+  EXPECT_EQ(f12.base.machines, 9u);
+  EXPECT_EQ(f12.base.types, 4u);
+
+  EXPECT_EQ(all_figure_specs().size(), 7u);
+}
+
+TEST(Figures, ScaledDownReducesTrials) {
+  const SweepSpec scaled = scaled_down(figure5_spec(), 10);
+  EXPECT_EQ(scaled.trials, 3u);
+  const SweepSpec floor = scaled_down(figure5_spec(), 1000);
+  EXPECT_EQ(floor.trials, 1u);
+}
+
+/// Smoke-run a miniature version of a heuristics-only figure end to end.
+TEST(Figures, MiniatureFigure6RunsEndToEnd) {
+  SweepSpec spec = scaled_down(figure6_spec(), 10);  // 3 trials
+  spec.values = {10, 20};
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.points.size(), 2u);
+  for (const PointResult& point : result.points) {
+    EXPECT_EQ(point.successes, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace mf::exp

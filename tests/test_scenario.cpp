@@ -1,0 +1,172 @@
+// Tests for the Section 7 scenario generators: determinism, distribution
+// ranges, type-uniformity and structural validity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluation.hpp"
+#include "exp/scenario.hpp"
+
+namespace mf::exp {
+namespace {
+
+TEST(Scenario, DeterministicForSameSeed) {
+  Scenario scenario;
+  scenario.tasks = 20;
+  scenario.machines = 8;
+  scenario.types = 3;
+  const core::Problem a = generate(scenario, 5);
+  const core::Problem b = generate(scenario, 5);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (core::TaskIndex i = 0; i < a.task_count(); ++i) {
+    EXPECT_EQ(a.app.type_of(i), b.app.type_of(i));
+    for (core::MachineIndex u = 0; u < a.machine_count(); ++u) {
+      EXPECT_DOUBLE_EQ(a.platform.time(i, u), b.platform.time(i, u));
+      EXPECT_DOUBLE_EQ(a.platform.failure(i, u), b.platform.failure(i, u));
+    }
+  }
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  Scenario scenario;
+  scenario.tasks = 20;
+  scenario.machines = 8;
+  scenario.types = 3;
+  const core::Problem a = generate(scenario, 5);
+  const core::Problem b = generate(scenario, 6);
+  bool any_difference = false;
+  for (core::TaskIndex i = 0; i < a.task_count() && !any_difference; ++i) {
+    for (core::MachineIndex u = 0; u < a.machine_count(); ++u) {
+      if (a.platform.time(i, u) != b.platform.time(i, u)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Scenario, RespectsPaperRanges) {
+  Scenario scenario;  // defaults: w in [100,1000], f in [0.5%,2%]
+  scenario.tasks = 30;
+  scenario.machines = 10;
+  scenario.types = 5;
+  const core::Problem problem = generate(scenario, 1);
+  for (core::TaskIndex i = 0; i < problem.task_count(); ++i) {
+    for (core::MachineIndex u = 0; u < problem.machine_count(); ++u) {
+      EXPECT_GE(problem.platform.time(i, u), 100.0);
+      EXPECT_LE(problem.platform.time(i, u), 1000.0);
+      EXPECT_GE(problem.platform.failure(i, u), 0.005);
+      EXPECT_LE(problem.platform.failure(i, u), 0.02);
+      // Integer millisecond granularity by default.
+      EXPECT_DOUBLE_EQ(problem.platform.time(i, u), std::floor(problem.platform.time(i, u)));
+    }
+  }
+}
+
+TEST(Scenario, TimesAreTypeUniform) {
+  Scenario scenario;
+  scenario.tasks = 25;
+  scenario.machines = 6;
+  scenario.types = 4;
+  const core::Problem problem = generate(scenario, 2);
+  EXPECT_TRUE(problem.platform.has_type_uniform_times(problem.app));
+  EXPECT_TRUE(problem.platform.has_type_uniform_failures(problem.app));
+}
+
+TEST(Scenario, TaskOnlyFailuresAreMachineIndependent) {
+  Scenario scenario;
+  scenario.tasks = 15;
+  scenario.machines = 6;
+  scenario.types = 3;
+  scenario.failure_attachment = FailureAttachment::kTaskOnly;
+  const core::Problem problem = generate(scenario, 3);
+  for (core::TaskIndex i = 0; i < problem.task_count(); ++i) {
+    const double f0 = problem.platform.failure(i, 0);
+    for (core::MachineIndex u = 1; u < problem.machine_count(); ++u) {
+      EXPECT_DOUBLE_EQ(problem.platform.failure(i, u), f0);
+    }
+  }
+}
+
+TEST(Scenario, EveryTypeRepresented) {
+  Scenario scenario;
+  scenario.tasks = 7;
+  scenario.machines = 7;
+  scenario.types = 7;  // n == p: every task a distinct type
+  const core::Problem problem = generate(scenario, 4);
+  EXPECT_EQ(problem.app.type_count(), 7u);
+}
+
+TEST(Scenario, ChainStructure) {
+  Scenario scenario;
+  scenario.tasks = 10;
+  scenario.machines = 4;
+  scenario.types = 2;
+  const core::Problem problem = generate(scenario, 5);
+  EXPECT_TRUE(problem.app.is_linear_chain());
+}
+
+TEST(Scenario, ValidationCatchesBadParameters) {
+  Scenario scenario;
+  scenario.tasks = 3;
+  scenario.types = 5;  // p > n
+  EXPECT_THROW(generate(scenario, 1), std::invalid_argument);
+
+  Scenario bad_failure;
+  bad_failure.failure_max = 1.5;
+  EXPECT_THROW(generate(bad_failure, 1), std::invalid_argument);
+
+  Scenario bad_time;
+  bad_time.time_min_ms = 0.0;
+  EXPECT_THROW(generate(bad_time, 1), std::invalid_argument);
+}
+
+TEST(Scenario, DescribeMentionsDimensions) {
+  Scenario scenario;
+  scenario.tasks = 9;
+  scenario.machines = 4;
+  scenario.types = 2;
+  const std::string text = scenario.describe();
+  EXPECT_NE(text.find("n=9"), std::string::npos);
+  EXPECT_NE(text.find("m=4"), std::string::npos);
+}
+
+TEST(ScenarioInTree, ProducesValidInTree) {
+  Scenario scenario;
+  scenario.tasks = 20;
+  scenario.machines = 6;
+  scenario.types = 3;
+  const core::Problem problem = generate_in_tree(scenario, 0.3, 7);
+  EXPECT_EQ(problem.task_count(), 20u);
+  // Every non-sink task has exactly one successor by construction; with
+  // join probability 0.3 and 20 tasks, at least one join is near-certain.
+  std::size_t joins = 0;
+  for (core::TaskIndex i = 0; i < problem.task_count(); ++i) {
+    joins += problem.app.predecessors(i).size() > 1 ? 1 : 0;
+  }
+  EXPECT_GT(joins, 0u);
+}
+
+TEST(ScenarioInTree, ZeroJoinProbabilityGivesChain) {
+  Scenario scenario;
+  scenario.tasks = 10;
+  scenario.machines = 4;
+  scenario.types = 2;
+  const core::Problem problem = generate_in_tree(scenario, 0.0, 7);
+  EXPECT_TRUE(problem.app.is_linear_chain());
+}
+
+TEST(ScenarioInTree, EvaluationWorksOnGeneratedTrees) {
+  Scenario scenario;
+  scenario.tasks = 15;
+  scenario.machines = 5;
+  scenario.types = 3;
+  const core::Problem problem = generate_in_tree(scenario, 0.5, 11);
+  // A trivially valid general mapping: everything on machine 0.
+  const core::Mapping all_on_one{std::vector<core::MachineIndex>(15, 0)};
+  EXPECT_GT(core::period(problem, all_on_one), 0.0);
+}
+
+}  // namespace
+}  // namespace mf::exp

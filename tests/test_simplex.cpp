@@ -1,0 +1,172 @@
+// Tests for the dense two-phase simplex: known LPs, infeasibility,
+// unboundedness, degeneracy, and randomized sanity checks.
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+#include "support/rng.hpp"
+
+namespace mf::lp {
+namespace {
+
+DenseLp make_lp(std::size_t rows, std::size_t cols) {
+  DenseLp lp;
+  lp.a = support::Matrix(rows, cols);
+  lp.b.assign(rows, 0.0);
+  lp.rel.assign(rows, Relation::kLessEqual);
+  lp.c.assign(cols, 0.0);
+  return lp;
+}
+
+TEST(Simplex, SimpleMaximizationAsMinimization) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6  ->  min -(x+y).
+  DenseLp lp = make_lp(2, 2);
+  lp.a.at(0, 0) = 1;
+  lp.a.at(0, 1) = 2;
+  lp.b[0] = 4;
+  lp.a.at(1, 0) = 3;
+  lp.a.at(1, 1) = 1;
+  lp.b[1] = 6;
+  lp.c = {-1, -1};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  // Optimum at intersection: x = 8/5, y = 6/5, objective -(14/5).
+  EXPECT_NEAR(sol.objective, -14.0 / 5.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 8.0 / 5.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 6.0 / 5.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + y = 3, x <= 2.
+  DenseLp lp = make_lp(2, 2);
+  lp.a.at(0, 0) = 1;
+  lp.a.at(0, 1) = 1;
+  lp.rel[0] = Relation::kEqual;
+  lp.b[0] = 3;
+  lp.a.at(1, 0) = 1;
+  lp.b[1] = 2;
+  lp.c = {1, 1};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 3.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraint) {
+  // min 2x + 3y s.t. x + y >= 4, x <= 3, y <= 3.
+  DenseLp lp = make_lp(3, 2);
+  lp.a.at(0, 0) = 1;
+  lp.a.at(0, 1) = 1;
+  lp.rel[0] = Relation::kGreaterEqual;
+  lp.b[0] = 4;
+  lp.a.at(1, 0) = 1;
+  lp.b[1] = 3;
+  lp.a.at(2, 1) = 1;
+  lp.b[2] = 3;
+  lp.c = {2, 3};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0 * 3.0 + 3.0 * 1.0, 1e-9);  // x=3, y=1
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // min x s.t. -x <= -2  (i.e. x >= 2).
+  DenseLp lp = make_lp(1, 1);
+  lp.a.at(0, 0) = -1;
+  lp.b[0] = -2;
+  lp.c = {1};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 cannot both hold.
+  DenseLp lp = make_lp(2, 1);
+  lp.a.at(0, 0) = 1;
+  lp.b[0] = 1;
+  lp.a.at(1, 0) = 1;
+  lp.rel[1] = Relation::kGreaterEqual;
+  lp.b[1] = 2;
+  lp.c = {1};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x s.t. x >= 1: x can grow forever.
+  DenseLp lp = make_lp(1, 1);
+  lp.a.at(0, 0) = 1;
+  lp.rel[0] = Relation::kGreaterEqual;
+  lp.b[0] = 1;
+  lp.c = {-1};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  DenseLp lp = make_lp(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    lp.a.at(r, 0) = 1.0 + static_cast<double>(r) * 1e-12;
+    lp.a.at(r, 1) = 1.0;
+    lp.b[r] = 2.0;
+  }
+  lp.c = {-1, -1};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-6);
+}
+
+TEST(Simplex, ZeroObjectiveFeasibilityCheck) {
+  DenseLp lp = make_lp(1, 2);
+  lp.a.at(0, 0) = 1;
+  lp.a.at(0, 1) = 1;
+  lp.rel[0] = Relation::kEqual;
+  lp.b[0] = 5;
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 5.0, 1e-9);
+}
+
+TEST(Simplex, ShapeValidation) {
+  DenseLp lp = make_lp(1, 2);
+  lp.b.resize(2);  // now inconsistent with A
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);
+}
+
+/// Randomized: bounded LPs with known feasible box; the simplex optimum
+/// must beat every random feasible point.
+class SimplexRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandomTest, OptimumDominatesSampledFeasiblePoints) {
+  support::Rng rng(GetParam());
+  const std::size_t vars = 4;
+  const std::size_t rows = 5;
+  DenseLp lp = make_lp(rows, vars);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t v = 0; v < vars; ++v) lp.a.at(r, v) = rng.uniform(0.1, 2.0);
+    lp.b[r] = rng.uniform(5.0, 20.0);
+  }
+  for (std::size_t v = 0; v < vars; ++v) lp.c[v] = rng.uniform(-3.0, -0.5);  // minimize
+
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+
+  for (int sample = 0; sample < 200; ++sample) {
+    std::vector<double> x(vars);
+    for (auto& v : x) v = rng.uniform(0.0, 5.0);
+    bool feasible = true;
+    for (std::size_t r = 0; r < rows && feasible; ++r) {
+      double lhs = 0.0;
+      for (std::size_t v = 0; v < vars; ++v) lhs += lp.a.at(r, v) * x[v];
+      feasible = lhs <= lp.b[r];
+    }
+    if (!feasible) continue;
+    double objective = 0.0;
+    for (std::size_t v = 0; v < vars; ++v) objective += lp.c[v] * x[v];
+    EXPECT_GE(objective, sol.objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest, ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace mf::lp

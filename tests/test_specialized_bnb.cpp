@@ -1,0 +1,141 @@
+// Tests for the combinatorial branch-and-bound: optimality against brute
+// force, dominance over every heuristic, budget behaviour and edge cases.
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/specialized_bnb.hpp"
+#include "exp/scenario.hpp"
+#include "heuristics/heuristic.hpp"
+#include "test_helpers.hpp"
+
+namespace mf::exact {
+namespace {
+
+using core::MappingRule;
+using core::Problem;
+
+TEST(SpecializedBnB, InfeasibleWhenTypesExceedMachines) {
+  const Problem problem = test::uniform_problem({0, 1, 2}, 2);
+  const BnBResult result = solve_specialized_optimal(problem);
+  EXPECT_FALSE(result.mapping.has_value());
+  EXPECT_TRUE(result.proven_optimal);
+}
+
+TEST(SpecializedBnB, TrivialSingleTask) {
+  core::Application app = core::Application::linear_chain({0});
+  core::Platform platform = test::make_platform({{300, 100}}, {{0.0, 0.0}});
+  const Problem problem{std::move(app), std::move(platform)};
+  const BnBResult result = solve_specialized_optimal(problem);
+  ASSERT_TRUE(result.mapping.has_value());
+  EXPECT_EQ(result.mapping->machine_of(0), 1u);
+  EXPECT_DOUBLE_EQ(result.period, 100.0);
+  EXPECT_TRUE(result.proven_optimal);
+}
+
+TEST(SpecializedBnB, HandComputedTinyChain) {
+  const Problem problem = test::tiny_chain_problem();
+  const BnBResult result = solve_specialized_optimal(problem);
+  ASSERT_TRUE(result.mapping.has_value());
+  const BruteForceResult reference = brute_force_optimal(problem, MappingRule::kSpecialized);
+  EXPECT_NEAR(result.period, reference.period, 1e-9);
+  EXPECT_TRUE(result.proven_optimal);
+}
+
+TEST(SpecializedBnB, BudgetExhaustionReportsNotProven) {
+  exp::Scenario scenario;
+  scenario.tasks = 12;
+  scenario.machines = 5;
+  scenario.types = 2;
+  const Problem problem = exp::generate(scenario, 3);
+  BnBOptions options;
+  options.max_nodes = 5;  // absurdly small
+  const BnBResult result = solve_specialized_optimal(problem, options);
+  EXPECT_FALSE(result.proven_optimal);
+  // The heuristic warm start still provides a mapping.
+  ASSERT_TRUE(result.mapping.has_value());
+  EXPECT_TRUE(result.mapping->complies_with(MappingRule::kSpecialized, problem.app,
+                                            problem.machine_count()));
+}
+
+TEST(SpecializedBnB, WithoutWarmStartStillOptimal) {
+  const Problem problem = test::tiny_chain_problem();
+  BnBOptions options;
+  options.seed_with_heuristics = false;
+  const BnBResult result = solve_specialized_optimal(problem, options);
+  const BruteForceResult reference = brute_force_optimal(problem, MappingRule::kSpecialized);
+  ASSERT_TRUE(result.mapping.has_value());
+  EXPECT_NEAR(result.period, reference.period, 1e-9);
+}
+
+struct BnBCase {
+  std::size_t tasks;
+  std::size_t machines;
+  std::size_t types;
+};
+
+class BnBBruteForceTest
+    : public ::testing::TestWithParam<std::tuple<BnBCase, std::uint64_t>> {};
+
+TEST_P(BnBBruteForceTest, MatchesExhaustiveEnumeration) {
+  const auto& [dims, seed] = GetParam();
+  exp::Scenario scenario;
+  scenario.tasks = dims.tasks;
+  scenario.machines = dims.machines;
+  scenario.types = dims.types;
+  const Problem problem = exp::generate(scenario, seed);
+
+  const BnBResult bnb = solve_specialized_optimal(problem);
+  const BruteForceResult reference = brute_force_optimal(problem, MappingRule::kSpecialized);
+  ASSERT_TRUE(bnb.mapping.has_value());
+  ASSERT_TRUE(reference.mapping.has_value());
+  ASSERT_TRUE(bnb.proven_optimal);
+  EXPECT_NEAR(bnb.period, reference.period, 1e-9 * reference.period);
+  EXPECT_TRUE(bnb.mapping->complies_with(MappingRule::kSpecialized, problem.app,
+                                         problem.machine_count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, BnBBruteForceTest,
+    ::testing::Combine(::testing::Values(BnBCase{4, 3, 2}, BnBCase{5, 3, 3},
+                                         BnBCase{6, 4, 2}, BnBCase{7, 3, 2},
+                                         BnBCase{6, 5, 4}),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5)));
+
+class BnBDominanceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnBDominanceTest, NeverWorseThanAnyHeuristic) {
+  exp::Scenario scenario;
+  scenario.tasks = 10;
+  scenario.machines = 5;
+  scenario.types = 2;
+  const Problem problem = exp::generate(scenario, GetParam());
+  const BnBResult bnb = solve_specialized_optimal(problem);
+  ASSERT_TRUE(bnb.mapping.has_value());
+  ASSERT_TRUE(bnb.proven_optimal);
+  support::Rng rng(GetParam());
+  for (const auto& h : heuristics::all_heuristics()) {
+    const auto mapping = h->run(problem, rng);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_LE(bnb.period, core::period(problem, *mapping) + 1e-9)
+        << "optimal must dominate " << h->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnBDominanceTest, ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(SpecializedBnB, PaperScaleInstanceSolves) {
+  // The Figure 10 regime: m=5, p=2, n up to ~15.
+  exp::Scenario scenario;
+  scenario.tasks = 12;
+  scenario.machines = 5;
+  scenario.types = 2;
+  const Problem problem = exp::generate(scenario, 11);
+  const BnBResult result = solve_specialized_optimal(problem);
+  ASSERT_TRUE(result.mapping.has_value());
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_GT(result.nodes, 0u);
+}
+
+}  // namespace
+}  // namespace mf::exact
