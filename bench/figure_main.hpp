@@ -88,9 +88,8 @@ inline void register_method_benchmarks(const exp::SweepSpec& spec) {
       const core::Problem problem = exp::generate(scenario, 12345);
       double period = 0.0;
       for (auto _ : state) {
-        support::Rng rng(1);
-        const auto mapping = method.solve(problem, rng);
-        if (mapping.has_value()) period = core::period(problem, *mapping);
+        const auto result = method.run(problem, /*seed=*/1);
+        if (method.counts(result)) period = result.period;
         benchmark::DoNotOptimize(period);
       }
       state.counters["period_ms"] = period;

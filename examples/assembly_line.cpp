@@ -12,8 +12,8 @@
 #include <cstdio>
 
 #include "core/evaluation.hpp"
-#include "heuristics/heuristic.hpp"
 #include "sim/simulator.hpp"
+#include "solve/solver.hpp"
 #include "support/cli.hpp"
 #include "support/matrix.hpp"
 #include "support/table.hpp"
@@ -59,15 +59,17 @@ int main(int argc, char** argv) {
 
   std::printf("application: %s\n", problem.app.describe().c_str());
 
-  // Map with H4w (the paper's best heuristic).
-  mf::support::Rng rng(seed);
-  const auto mapping = mf::heuristics::heuristic_by_name("H4w")->run(problem, rng);
-  if (!mapping.has_value()) {
+  // Map with H4w (the paper's best heuristic) through the solve facade.
+  mf::solve::SolveParams params;
+  params.seed = seed;
+  const mf::solve::SolveResult solved = mf::solve::run(problem, "H4w", params);
+  if (!solved.has_mapping()) {
     std::printf("no specialized mapping exists (more types than machines)\n");
     return 1;
   }
+  const auto& mapping = solved.mapping;
   std::printf("mapping: %s\n", mapping->describe(problem.app).c_str());
-  const double analytic = mf::core::period(problem, *mapping);
+  const double analytic = solved.period;
   std::printf("analytic period: %.1f ms/product (throughput %.2f products/s)\n\n", analytic,
               1000.0 / analytic);
 

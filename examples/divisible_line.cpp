@@ -12,7 +12,7 @@
 #include "core/evaluation.hpp"
 #include "exp/scenario.hpp"
 #include "extensions/divisible.hpp"
-#include "heuristics/heuristic.hpp"
+#include "solve/solver.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -25,13 +25,15 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 21));
   const mf::core::Problem problem = mf::exp::generate(scenario, seed);
 
-  mf::support::Rng rng(seed);
-  const auto rigid = mf::heuristics::heuristic_by_name("H4w")->run(problem, rng);
+  mf::solve::SolveParams params;
+  params.seed = seed;
+  const mf::solve::SolveResult solved = mf::solve::run(problem, "H4w", params);
+  const auto& rigid = solved.mapping;
   if (!rigid.has_value()) {
     std::printf("no specialized mapping exists (p > m)\n");
     return 1;
   }
-  const double rigid_period = mf::core::period(problem, *rigid);
+  const double rigid_period = solved.period;
 
   const mf::ext::DivisibleSchedule schedule = mf::ext::divide_workload(problem, *rigid);
 

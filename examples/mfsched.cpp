@@ -2,37 +2,50 @@
 //
 // The batch workflow a production engineer would actually run: load a
 // problem file (the core/io.hpp text format, e.g. produced by a
-// calibration campaign), solve it with a chosen method, optionally refine
-// and simulate, and save the mapping.
+// calibration campaign), solve it with any solver from the unified
+// registry, optionally refine and simulate, and save the mapping.
 //
-//   mfsched <problem-file> [--method H4w|H1..H4f|exact] [--refine]
-//           [--simulate N] [--out mapping-file] [--seed S]
+//   mfsched <problem-file> [--method ID] [--refine] [--simulate N]
+//           [--budget NODES] [--out mapping-file] [--seed S]
+//   mfsched --list
 //
-// Try it on a generated instance:
-//   ./quickstart ... (or any tool) — or generate one here with --demo.
+// `--method` accepts every registered solver id (try `--list`): the paper
+// heuristics H1..H4f, the exact solvers bnb / mip / brute, the one-to-one
+// solver oto, and "+ls" composites such as H4w+ls. `exact` stays as an
+// alias for bnb. `--refine` is shorthand for appending "+ls".
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/evaluation.hpp"
 #include "core/io.hpp"
-#include "exact/specialized_bnb.hpp"
 #include "exp/scenario.hpp"
-#include "extensions/local_search.hpp"
-#include "heuristics/heuristic.hpp"
 #include "sim/simulator.hpp"
+#include "solve/registry.hpp"
+#include "solve/solver.hpp"
 #include "support/cli.hpp"
 
 namespace {
 
 int usage(const char* program) {
   std::printf(
-      "usage: %s <problem-file> [--method NAME] [--refine] [--simulate N]\n"
-      "          [--out FILE] [--seed S]\n"
+      "usage: %s <problem-file> [--method ID] [--refine] [--simulate N]\n"
+      "          [--budget NODES] [--out FILE] [--seed S]\n"
+      "       %s --list\n"
       "       %s --demo [--tasks N --machines M --types P --seed S]\n"
-      "methods: H1 H2 H3 H4 H4w H4f (paper heuristics) or 'exact'\n"
-      "--demo writes demo_problem.txt instead of scheduling\n",
-      program, program);
+      "--list  prints every registered solver id\n"
+      "--demo  writes demo_problem.txt instead of scheduling\n",
+      program, program, program);
   return 2;
+}
+
+int list_solvers() {
+  const auto& registry = mf::solve::SolverRegistry::instance();
+  std::printf("registered solvers (append \"+ls\" for local-search refinement):\n");
+  for (const std::string& id : registry.ids()) {
+    std::printf("  %-6s %s\n", id.c_str(), registry.resolve(id)->description().c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -40,6 +53,8 @@ int usage(const char* program) {
 int main(int argc, char** argv) {
   const mf::support::CliArgs args(argc, argv);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  if (args.has("list")) return list_solvers();
 
   if (args.has("demo")) {
     mf::exp::Scenario scenario;
@@ -65,38 +80,47 @@ int main(int argc, char** argv) {
   std::printf("loaded: %s on %s\n", problem.app.describe().c_str(),
               problem.platform.describe().c_str());
 
-  const std::string method = args.get("method", "H4w");
-  std::optional<mf::core::Mapping> mapping;
-  if (method == "exact") {
-    const mf::exact::BnBResult result = mf::exact::solve_specialized_optimal(problem);
-    if (!result.proven_optimal) {
-      std::fprintf(stderr, "warning: node budget exhausted; best-found mapping used\n");
-    }
-    mapping = result.mapping;
-  } else {
-    try {
-      mf::support::Rng rng(seed);
-      mapping = mf::heuristics::heuristic_by_name(method)->run(problem, rng);
-    } catch (const std::invalid_argument&) {
-      std::fprintf(stderr, "error: unknown method '%s'\n", method.c_str());
-      return usage(args.program().c_str());
-    }
+  std::string method = args.get("method", "H4w");
+  if (method == "exact") method = "bnb";  // pre-registry spelling
+
+  mf::solve::SolveParams params;
+  params.seed = seed;
+  params.local_search = args.has("refine");
+  if (args.has("budget")) {
+    params.max_nodes = static_cast<std::uint64_t>(args.get_int("budget", 0));
   }
-  if (!mapping.has_value()) {
-    std::fprintf(stderr, "error: no specialized mapping exists (p > m?)\n");
+
+  const mf::solve::SolveResult result = [&] {
+    try {
+      return mf::solve::run(problem, method, params);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      std::exit(usage(args.program().c_str()));
+    }
+  }();
+
+  const auto& diag = result.diagnostics;
+  if (!result.has_mapping()) {
+    std::fprintf(stderr, "error: %s produced no mapping (%s)%s%s\n", diag.solver_id.c_str(),
+                 mf::solve::to_string(result.status).c_str(), diag.note.empty() ? "" : ": ",
+                 diag.note.c_str());
     return 1;
   }
+  if (result.status == mf::solve::Status::kBudgetExhausted) {
+    std::fprintf(stderr, "warning: node budget exhausted; best-found mapping used\n");
+  }
 
-  double period = mf::core::period(problem, *mapping);
-  std::printf("%s period: %.1f ms/product (throughput %.3f/s)\n", method.c_str(), period,
-              1000.0 / period);
-
-  if (args.has("refine")) {
-    const mf::ext::RefinementResult refined = mf::ext::refine_mapping(problem, *mapping);
-    std::printf("refined: %.1f ms/product (%zu moves, %s)\n", refined.period,
-                refined.moves_applied, refined.converged ? "local optimum" : "pass budget");
-    mapping = refined.mapping;
-    period = refined.period;
+  std::printf("%s period: %.1f ms/product (throughput %.3f/s) [%s, %.1f ms solve",
+              diag.solver_id.c_str(), result.period, 1000.0 / result.period,
+              mf::solve::to_string(result.status).c_str(), diag.wall_time_ms);
+  if (diag.nodes_explored > 0) {
+    std::printf(", %llu nodes", static_cast<unsigned long long>(diag.nodes_explored));
+  }
+  std::printf("]\n");
+  if (diag.refined) {
+    std::printf("refinement: -%.1f ms/product over %zu moves (%s)\n",
+                diag.refiner_improvement_ms, diag.refiner_moves,
+                diag.refiner_converged ? "local optimum" : "pass budget");
   }
 
   const auto simulate = static_cast<std::uint64_t>(args.get_int("simulate", 0));
@@ -105,18 +129,18 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.target_outputs = simulate;
     config.warmup_outputs = simulate / 10;
-    const auto report = mf::sim::Simulator(problem, *mapping).run(config);
+    const auto report = mf::sim::Simulator(problem, *result.mapping).run(config);
     std::printf("simulated %llu products: measured period %.1f ms (analytic %.1f)\n",
                 static_cast<unsigned long long>(report.finished_products),
-                report.measured_period, period);
+                report.measured_period, result.period);
   }
 
   const std::string out = args.get("out", "");
   if (!out.empty()) {
-    mf::core::save_mapping(*mapping, out);
+    mf::core::save_mapping(*result.mapping, out);
     std::printf("mapping written to %s\n", out.c_str());
   } else {
-    std::printf("mapping: %s\n", mapping->describe(problem.app).c_str());
+    std::printf("mapping: %s\n", result.mapping->describe(problem.app).c_str());
   }
   return 0;
 }

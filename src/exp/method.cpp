@@ -1,24 +1,51 @@
 #include "exp/method.hpp"
 
-#include "exact/one_to_one.hpp"
-#include "exact/specialized_bnb.hpp"
-#include "lp/specialized_mip.hpp"
+#include "heuristics/heuristic.hpp"
+#include "solve/registry.hpp"
 
 namespace mf::exp {
 
-Method method_from_heuristic(std::shared_ptr<const heuristics::Heuristic> h) {
+solve::SolveResult Method::run(const core::Problem& problem, std::uint64_t seed) const {
+  solve::SolveParams trial_params = params;
+  trial_params.seed = seed;
+  // The cached solver is only valid while it still matches what the params
+  // would resolve to (params.local_search may have changed since method_for).
+  if (solver != nullptr &&
+      solver->id() == solve::effective_solver_id(solver_id, trial_params)) {
+    return solve::timed_solve(*solver, problem, trial_params);
+  }
+  return solve::run(problem, solver_id, trial_params);
+}
+
+bool Method::counts(const solve::SolveResult& result) const {
+  if (require_proof && result.status != solve::Status::kOptimal) return false;
+  return result.has_mapping();
+}
+
+std::optional<core::Mapping> Method::solve(const core::Problem& problem,
+                                           std::uint64_t seed) const {
+  solve::SolveResult result = run(problem, seed);
+  if (!counts(result)) return std::nullopt;
+  return std::move(result.mapping);
+}
+
+Method method_for(const std::string& solver_id, std::string display_name,
+                  solve::SolveParams params) {
+  // Resolve eagerly so a typo fails at spec-construction time, with the
+  // registry's list of known ids, not in the middle of a sweep.
   Method method;
-  method.name = h->name();
-  method.solve = [h = std::move(h)](const core::Problem& problem, support::Rng& rng) {
-    return h->run(problem, rng);
-  };
+  method.solver = solve::SolverRegistry::instance().resolve(
+      solve::effective_solver_id(solver_id, params));
+  method.solver_id = solver_id;
+  method.name = display_name.empty() ? method.solver->id() : std::move(display_name);
+  method.params = std::move(params);
   return method;
 }
 
 std::vector<Method> all_heuristic_methods() {
   std::vector<Method> methods;
-  for (auto& h : heuristics::all_heuristics()) {
-    methods.push_back(method_from_heuristic(std::move(h)));
+  for (const auto& heuristic : heuristics::all_heuristics()) {
+    methods.push_back(method_for(heuristic->name()));
   }
   return methods;
 }
@@ -26,49 +53,25 @@ std::vector<Method> all_heuristic_methods() {
 std::vector<Method> heuristic_methods(const std::vector<std::string>& names) {
   std::vector<Method> methods;
   methods.reserve(names.size());
-  for (const std::string& name : names) {
-    methods.push_back(method_from_heuristic(heuristics::heuristic_by_name(name)));
-  }
+  for (const std::string& name : names) methods.push_back(method_for(name));
   return methods;
 }
 
-Method method_optimal_one_to_one() {
-  Method method;
-  method.name = "OtO";
-  method.solve = [](const core::Problem& problem,
-                    support::Rng& /*rng*/) -> std::optional<core::Mapping> {
-    if (problem.task_count() > problem.machine_count()) return std::nullopt;
-    if (!exact::has_machine_independent_failures(problem)) return std::nullopt;
-    return exact::optimal_one_to_one_task_failures(problem).mapping;
-  };
-  return method;
-}
+Method method_optimal_one_to_one() { return method_for("oto", "OtO"); }
 
 Method method_exact_specialized(std::uint64_t max_nodes) {
-  Method method;
-  method.name = "MIP";
-  method.solve = [max_nodes](const core::Problem& problem,
-                             support::Rng& /*rng*/) -> std::optional<core::Mapping> {
-    exact::BnBOptions options;
-    options.max_nodes = max_nodes;
-    const exact::BnBResult result = exact::solve_specialized_optimal(problem, options);
-    if (!result.proven_optimal || !result.mapping.has_value()) return std::nullopt;
-    return result.mapping;
-  };
+  solve::SolveParams params;
+  params.max_nodes = max_nodes;
+  Method method = method_for("bnb", "MIP", params);
+  method.require_proof = true;
   return method;
 }
 
 Method method_lp_mip(std::uint64_t max_nodes) {
-  Method method;
-  method.name = "LP-MIP";
-  method.solve = [max_nodes](const core::Problem& problem,
-                             support::Rng& /*rng*/) -> std::optional<core::Mapping> {
-    lp::MipOptions options;
-    options.max_nodes = max_nodes;
-    const lp::MipScheduleResult result = lp::solve_specialized_mip(problem, options);
-    if (result.status != lp::MipStatus::kOptimal) return std::nullopt;
-    return result.mapping;
-  };
+  solve::SolveParams params;
+  params.max_nodes = max_nodes;
+  Method method = method_for("mip", "LP-MIP", params);
+  method.require_proof = true;
   return method;
 }
 

@@ -1,11 +1,12 @@
-// A "method" is anything that maps a problem instance to a period value:
-// one of the six heuristics, the optimal one-to-one solver (Figure 9's
-// "OtO") or the exact specialized solver standing in for the paper's CPLEX
-// MIP (Figures 10-12). The sweep runner treats them uniformly.
+// A "method" is a named column of a figure sweep: a solver id from the
+// unified registry (solve/registry.hpp) plus the display name and
+// parameters the paper uses for it. It is a thin data wrapper — all actual
+// solving goes through the `mf::solve` facade, so anything registered
+// there (including "+ls" composites and runtime-registered solvers) can
+// appear in a sweep.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -13,20 +14,42 @@
 
 #include "core/mapping.hpp"
 #include "core/platform.hpp"
-#include "heuristics/heuristic.hpp"
-#include "support/rng.hpp"
+#include "solve/solver.hpp"
 
 namespace mf::exp {
 
 struct Method {
-  std::string name;
-  /// Returns the mapping found, or nullopt when the method fails on this
-  /// instance (infeasible, or exact-solver budget exhausted).
-  std::function<std::optional<core::Mapping>(const core::Problem&, support::Rng&)> solve;
+  std::string name;       ///< column/series label, e.g. "H2", "OtO", "MIP"
+  std::string solver_id;  ///< registry id the method resolves to
+  solve::SolveParams params;
+  /// Count a trial only when the solver *proves* optimality — the paper's
+  /// protocol for the exact methods ("results are reported only if ... the
+  /// MIP" succeeds); mirrors its CPLEX timeouts on larger instances.
+  bool require_proof = false;
+  /// Resolved once by method_for so the thousands of trials of a sweep
+  /// skip the registry lock; when null, run() resolves `solver_id` anew.
+  std::shared_ptr<const solve::Solver> solver;
+
+  /// Full-fidelity solve through the registry; `seed` overrides
+  /// `params.seed` to give each trial its own deterministic stream.
+  [[nodiscard]] solve::SolveResult run(const core::Problem& problem, std::uint64_t seed) const;
+
+  /// The sweep protocol: whether a solve counts as a successful trial
+  /// (a mapping exists and, with `require_proof`, optimality was proven).
+  [[nodiscard]] bool counts(const solve::SolveResult& result) const;
+
+  /// The sweep protocol view: the mapping when the trial counts, nullopt
+  /// when the method failed on this instance (infeasible, or — with
+  /// `require_proof` — budget exhausted without an optimality proof).
+  [[nodiscard]] std::optional<core::Mapping> solve(const core::Problem& problem,
+                                                   std::uint64_t seed) const;
 };
 
-/// Wraps one of the paper's heuristics.
-[[nodiscard]] Method method_from_heuristic(std::shared_ptr<const heuristics::Heuristic> h);
+/// Builds a method for any registered solver id; `display_name` defaults
+/// to the id itself. Throws std::invalid_argument (listing the known ids)
+/// for unknown solvers.
+[[nodiscard]] Method method_for(const std::string& solver_id, std::string display_name = {},
+                                solve::SolveParams params = {});
 
 /// All six heuristics as methods, in paper order.
 [[nodiscard]] std::vector<Method> all_heuristic_methods();

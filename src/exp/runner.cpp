@@ -1,11 +1,13 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <mutex>
 #include <optional>
 
 #include "core/evaluation.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace mf::exp {
 
@@ -47,10 +49,13 @@ std::optional<std::vector<double>> run_trial(const SweepSpec& spec, const Scenar
   std::vector<double> periods;
   periods.reserve(spec.methods.size());
   for (const Method& method : spec.methods) {
-    support::Rng rng(support::mix_seed(seed, std::hash<std::string>{}(method.name)));
-    const auto mapping = method.solve(problem, rng);
-    if (!mapping.has_value()) return std::nullopt;
-    periods.push_back(core::period(problem, *mapping));
+    // Each (trial, method) pair gets its own deterministic seed stream so
+    // adding or reordering methods never perturbs another column.
+    const std::uint64_t method_seed =
+        support::mix_seed(seed, std::hash<std::string>{}(method.name));
+    const solve::SolveResult result = method.run(problem, method_seed);
+    if (!method.counts(result)) return std::nullopt;
+    periods.push_back(result.period);
   }
   return periods;
 }

@@ -36,8 +36,8 @@ class Heuristic {
 /// All six heuristics in paper order: H1, H2, H3, H4, H4w, H4f.
 [[nodiscard]] std::vector<std::shared_ptr<const Heuristic>> all_heuristics();
 
-/// Finds a heuristic by its paper name; throws std::invalid_argument for
-/// unknown names.
+/// Finds a heuristic by its paper name; throws std::invalid_argument
+/// (listing the available names) for unknown names.
 [[nodiscard]] std::shared_ptr<const Heuristic> heuristic_by_name(const std::string& name);
 
 }  // namespace mf::heuristics

@@ -19,10 +19,16 @@ std::vector<std::shared_ptr<const Heuristic>> all_heuristics() {
 }
 
 std::shared_ptr<const Heuristic> heuristic_by_name(const std::string& name) {
-  for (auto& h : all_heuristics()) {
+  const auto all = all_heuristics();
+  for (auto& h : all) {
     if (h->name() == name) return h;
   }
-  throw std::invalid_argument("unknown heuristic: " + name);
+  std::string known;
+  for (auto& h : all) {
+    if (!known.empty()) known += ", ";
+    known += h->name();
+  }
+  throw std::invalid_argument("unknown heuristic '" + name + "'; available heuristics: " + known);
 }
 
 }  // namespace mf::heuristics

@@ -1,0 +1,35 @@
+#include "solve/batch.hpp"
+
+#include "solve/registry.hpp"
+#include "support/check.hpp"
+
+namespace mf::solve {
+
+std::vector<SolveResult> BatchSolver::solve_all(
+    const std::vector<SolveRequest>& requests) const {
+  const SolverRegistry& registry = SolverRegistry::instance();
+
+  // Resolve everything before launching work: an unknown solver id or a
+  // null problem fails the whole batch up front instead of mid-flight.
+  std::vector<std::shared_ptr<const Solver>> solvers;
+  solvers.reserve(requests.size());
+  for (const SolveRequest& request : requests) {
+    MF_REQUIRE(request.problem != nullptr, "batch request needs a problem");
+    solvers.push_back(registry.resolve(effective_solver_id(request.solver_id, request.params)));
+  }
+
+  std::vector<SolveResult> results(requests.size());
+  const auto body = [&](std::size_t i) {
+    SolveParams params = requests[i].params;
+    params.seed = stream_seed(params.seed, i);
+    results[i] = timed_solve(*solvers[i], *requests[i].problem, params);
+  };
+  if (pool_ != nullptr) {
+    support::parallel_for(*pool_, requests.size(), body);
+  } else {
+    for (std::size_t i = 0; i < requests.size(); ++i) body(i);
+  }
+  return results;
+}
+
+}  // namespace mf::solve

@@ -1,0 +1,54 @@
+// Batch execution: fan a vector of solve requests across the shared
+// thread pool. Each request gets its own deterministic RNG stream derived
+// from (request seed, request index), so a pooled batch returns bit-for-bit
+// the same mappings as a sequential loop — the property the sweep runner
+// and any future sharded/cached execution layers build on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "solve/solver.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mf::solve {
+
+/// One unit of batch work. Problems are shared_ptr so many requests (e.g.
+/// every method of a paired-design trial) can reference one instance
+/// without copying the matrices.
+struct SolveRequest {
+  std::shared_ptr<const core::Problem> problem;
+  std::string solver_id;  ///< registry id, composites ("H4w+ls") included
+  SolveParams params;
+};
+
+class BatchSolver {
+ public:
+  /// `pool` may be null for serial execution; results are identical either
+  /// way (modulo wall-time diagnostics).
+  explicit BatchSolver(support::ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Solves every request; `results[i]` corresponds to `requests[i]`.
+  /// All solver ids are resolved up front, so an unknown id throws (with
+  /// the list of known ids) before any work starts. A solver exception
+  /// aborts the batch and is rethrown.
+  [[nodiscard]] std::vector<SolveResult> solve_all(
+      const std::vector<SolveRequest>& requests) const;
+
+  /// The per-request seed stream: requests sharing one base seed still get
+  /// statistically independent RNG streams, and the stream depends only on
+  /// (seed, index) — never on scheduling order.
+  [[nodiscard]] static std::uint64_t stream_seed(std::uint64_t seed,
+                                                 std::size_t index) noexcept {
+    return support::mix_seed(seed, static_cast<std::uint64_t>(index));
+  }
+
+ private:
+  support::ThreadPool* pool_;
+};
+
+}  // namespace mf::solve

@@ -1,0 +1,46 @@
+#include "solve/solver.hpp"
+
+#include <chrono>
+
+#include "solve/registry.hpp"
+
+namespace mf::solve {
+
+std::string to_string(Status status) {
+  switch (status) {
+    case Status::kOptimal:
+      return "optimal";
+    case Status::kFeasible:
+      return "feasible";
+    case Status::kInfeasible:
+      return "infeasible";
+    case Status::kBudgetExhausted:
+      return "budget-exhausted";
+  }
+  return "?";
+}
+
+std::string effective_solver_id(std::string solver_id, const SolveParams& params) {
+  if (params.local_search && !solver_id.ends_with("+ls")) solver_id += "+ls";
+  return solver_id;
+}
+
+SolveResult timed_solve(const Solver& solver, const core::Problem& problem,
+                        const SolveParams& params) {
+  const auto start = std::chrono::steady_clock::now();
+  SolveResult result = solver.solve(problem, params);
+  result.diagnostics.wall_time_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.diagnostics.solver_id = solver.id();
+  return result;
+}
+
+SolveResult run(const core::Problem& problem, const std::string& solver_id,
+                const SolveParams& params) {
+  const auto solver =
+      SolverRegistry::instance().resolve(effective_solver_id(solver_id, params));
+  return timed_solve(*solver, problem, params);
+}
+
+}  // namespace mf::solve

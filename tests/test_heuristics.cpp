@@ -29,7 +29,15 @@ TEST(Registry, HasAllSixInPaperOrder) {
 
 TEST(Registry, LookupByNameAndUnknown) {
   EXPECT_EQ(heuristic_by_name("H4w")->name(), "H4w");
-  EXPECT_THROW(heuristic_by_name("H5"), std::invalid_argument);
+  try {
+    (void)heuristic_by_name("H5");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("H5"), std::string::npos);
+    EXPECT_NE(message.find("H1, H2, H3, H4, H4w, H4f"), std::string::npos)
+        << "the error should list the available names: " << message;
+  }
 }
 
 TEST(Heuristics, InfeasibleWhenMoreTypesThanMachines) {

@@ -7,6 +7,8 @@
 #include "exp/figures.hpp"
 #include "exp/method.hpp"
 #include "exp/runner.hpp"
+#include "solve/adapters.hpp"
+#include "solve/registry.hpp"
 
 namespace mf::exp {
 namespace {
@@ -65,9 +67,7 @@ TEST(Runner, PairedDesignGivesIdenticalPeriodsForIdenticalMethods) {
   // The same deterministic heuristic twice under different names: with a
   // paired design both columns must agree exactly on every point.
   spec.methods = heuristic_methods({"H4w"});
-  Method clone = method_from_heuristic(heuristics::heuristic_by_name("H4w"));
-  clone.name = "H4w-clone";
-  spec.methods.push_back(clone);
+  spec.methods.push_back(method_for("H4w", "H4w-clone"));
   const SweepResult result = run_sweep(spec);
   for (const PointResult& point : result.points) {
     EXPECT_DOUBLE_EQ(point.period_by_method.at("H4w").mean,
@@ -80,12 +80,15 @@ TEST(Runner, FailingMethodTriggersRetryProtocol) {
   spec.trials = 3;
   spec.max_trials = 9;
   // A method that fails on every instance: no successes, attempts maxed.
-  Method always_fails;
-  always_fails.name = "never";
-  always_fails.solve = [](const core::Problem&, support::Rng&) {
-    return std::optional<core::Mapping>{};
-  };
-  spec.methods.push_back(always_fails);
+  // Registered through the solver registry like any other method, which
+  // doubles as a check that runtime-registered solvers are sweepable.
+  auto& registry = solve::SolverRegistry::instance();
+  if (!registry.contains("never")) {
+    registry.register_solver(solve::make_function_solver(
+        "never", "test solver that always reports infeasible",
+        [](const core::Problem&, const solve::SolveParams&) { return solve::SolveResult{}; }));
+  }
+  spec.methods.push_back(method_for("never"));
   const SweepResult result = run_sweep(spec);
   for (const PointResult& point : result.points) {
     EXPECT_EQ(point.successes, 0u);

@@ -1,0 +1,306 @@
+// Tests for the unified solver API: registry lookup and error reporting,
+// adapter status codes (infeasible, budget-exhausted, optimal), "+ls"
+// composition, and BatchSolver determinism across serial and pooled
+// execution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/evaluation.hpp"
+#include "exp/method.hpp"
+#include "exp/scenario.hpp"
+#include "heuristics/heuristic.hpp"
+#include "solve/adapters.hpp"
+#include "solve/batch.hpp"
+#include "solve/registry.hpp"
+#include "solve/solver.hpp"
+#include "test_helpers.hpp"
+
+namespace mf::solve {
+namespace {
+
+core::Problem medium_problem(std::uint64_t seed = 7) {
+  exp::Scenario scenario;
+  scenario.tasks = 10;
+  scenario.machines = 4;
+  scenario.types = 2;
+  return exp::generate(scenario, seed);
+}
+
+TEST(Registry, ListsAllBuiltinSolvers) {
+  const auto ids = SolverRegistry::instance().ids();
+  for (const char* id : {"H1", "H2", "H3", "H4", "H4w", "H4f", "oto", "bnb", "mip", "brute"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
+  }
+}
+
+TEST(Registry, UnknownSolverErrorListsAvailableIds) {
+  try {
+    (void)SolverRegistry::instance().resolve("H9");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("H9"), std::string::npos);
+    EXPECT_NE(message.find("H4w"), std::string::npos) << "should list the known ids";
+    EXPECT_NE(message.find("bnb"), std::string::npos) << "should list the known ids";
+  }
+}
+
+TEST(Registry, UnknownSuffixIsRejected) {
+  EXPECT_THROW((void)SolverRegistry::instance().resolve("H4w+anneal"), std::invalid_argument);
+}
+
+TEST(Registry, RejectsDuplicateAndReservedIds) {
+  auto& registry = SolverRegistry::instance();
+  EXPECT_THROW(registry.register_solver(make_bnb_solver()), std::invalid_argument);
+  EXPECT_THROW(registry.register_solver(make_function_solver(
+                   "bad+id", "reserved character",
+                   [](const core::Problem&, const SolveParams&) { return SolveResult{}; })),
+               std::invalid_argument);
+  EXPECT_THROW(registry.register_solver(nullptr), std::invalid_argument);
+}
+
+TEST(Registry, RuntimeRegisteredSolverResolvesLikeBuiltins) {
+  auto& registry = SolverRegistry::instance();
+  if (!registry.contains("echo")) {
+    registry.register_solver(make_function_solver(
+        "echo", "test double", [](const core::Problem& problem, const SolveParams&) {
+          SolveResult result;
+          result.status = Status::kFeasible;
+          result.mapping = core::Mapping(
+              std::vector<core::MachineIndex>(problem.task_count(), 0));
+          result.period = core::period(problem, *result.mapping);
+          return result;
+        }));
+  }
+  const core::Problem problem = test::uniform_problem({0, 0, 0}, 2);
+  const SolveResult result = run(problem, "echo");
+  EXPECT_EQ(result.status, Status::kFeasible);
+  EXPECT_EQ(result.diagnostics.solver_id, "echo");
+}
+
+TEST(Facade, MatchesDirectHeuristicCall) {
+  const core::Problem problem = medium_problem();
+  const SolveResult result = run(problem, "H4w", {.seed = 5});
+  support::Rng rng(5);
+  const auto direct = heuristics::heuristic_by_name("H4w")->run(problem, rng);
+  ASSERT_TRUE(result.has_mapping());
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(*result.mapping, *direct);
+  EXPECT_EQ(result.status, Status::kFeasible);
+  EXPECT_DOUBLE_EQ(result.period, core::period(problem, *direct));
+  EXPECT_EQ(result.diagnostics.solver_id, "H4w");
+  EXPECT_GE(result.diagnostics.wall_time_ms, 0.0);
+}
+
+TEST(Facade, RandomizedSolverIsDeterministicInSeed) {
+  const core::Problem problem = medium_problem();
+  const SolveResult a = run(problem, "H1", {.seed = 11});
+  const SolveResult b = run(problem, "H1", {.seed = 11});
+  ASSERT_TRUE(a.has_mapping());
+  EXPECT_EQ(*a.mapping, *b.mapping);
+}
+
+TEST(Facade, InfeasibleWhenMoreTypesThanMachines) {
+  // p = 3 types on m = 2 machines: no specialized mapping can exist.
+  const core::Problem problem = test::uniform_problem({0, 1, 2}, 2);
+  for (const char* id : {"H2", "H4w", "bnb", "brute"}) {
+    const SolveResult result = run(problem, id);
+    EXPECT_EQ(result.status, Status::kInfeasible) << id;
+    EXPECT_FALSE(result.has_mapping()) << id;
+  }
+}
+
+TEST(Facade, OneToOneReportsInapplicableInstancesAsInfeasible) {
+  // Machine-dependent failures break the OtO precondition.
+  const core::Problem dependent = test::tiny_chain_problem();
+  EXPECT_EQ(run(dependent, "oto").status, Status::kInfeasible);
+
+  // n > m breaks the one-to-one counting requirement.
+  const core::Problem crowded = test::uniform_problem({0, 1, 0, 1}, 3);
+  EXPECT_EQ(run(crowded, "oto").status, Status::kInfeasible);
+}
+
+TEST(Facade, OneToOneOptimalOnItsTractableIsland) {
+  exp::Scenario scenario;
+  scenario.tasks = 5;
+  scenario.machines = 8;
+  scenario.types = 2;
+  scenario.failure_attachment = exp::FailureAttachment::kTaskOnly;
+  const core::Problem problem = exp::generate(scenario, 3);
+  const SolveResult result = run(problem, "oto");
+  EXPECT_EQ(result.status, Status::kOptimal);
+  ASSERT_TRUE(result.has_mapping());
+  EXPECT_TRUE(result.mapping->complies_with(core::MappingRule::kOneToOne, problem.app,
+                                            problem.machine_count()));
+}
+
+TEST(Facade, BudgetExhaustedWhenNodeBudgetTooSmall) {
+  const core::Problem problem = medium_problem();
+  const SolveResult bnb = run(problem, "bnb", {.max_nodes = 1});
+  EXPECT_EQ(bnb.status, Status::kBudgetExhausted);
+  // The branch-and-bound warm-starts from H2/H4w, so an incumbent survives
+  // even a one-node budget.
+  EXPECT_TRUE(bnb.has_mapping());
+  EXPECT_GT(bnb.diagnostics.nodes_explored, 0u);
+
+  const SolveResult mip = run(problem, "mip", {.max_nodes = 1});
+  EXPECT_EQ(mip.status, Status::kBudgetExhausted);
+}
+
+TEST(Facade, ExactSolversAgreeOnTinyInstance) {
+  const core::Problem problem = test::tiny_chain_problem();
+  const SolveResult bnb = run(problem, "bnb");
+  const SolveResult brute = run(problem, "brute");
+  const SolveResult mip = run(problem, "mip");
+  ASSERT_EQ(bnb.status, Status::kOptimal);
+  ASSERT_EQ(brute.status, Status::kOptimal);
+  ASSERT_EQ(mip.status, Status::kOptimal);
+  EXPECT_DOUBLE_EQ(bnb.period, brute.period);
+  EXPECT_DOUBLE_EQ(mip.period, brute.period);
+  EXPECT_GT(bnb.diagnostics.nodes_explored, 0u);
+}
+
+TEST(Composition, LocalSearchSuffixNeverHurts) {
+  const core::Problem problem = medium_problem();
+  const SolveResult base = run(problem, "H2");
+  const SolveResult refined = run(problem, "H2+ls");
+  ASSERT_TRUE(base.has_mapping());
+  ASSERT_TRUE(refined.has_mapping());
+  EXPECT_LE(refined.period, base.period);
+  EXPECT_DOUBLE_EQ(refined.diagnostics.refiner_improvement_ms, base.period - refined.period);
+  EXPECT_EQ(refined.status, Status::kFeasible) << "refinement keeps the base status";
+  EXPECT_EQ(refined.diagnostics.solver_id, "H2+ls");
+}
+
+TEST(Composition, RefinementDowngradesStaleOptimalityProof) {
+  // Two same-type tasks, one fast and one terrible machine: the one-to-one
+  // optimum must split them (period 10000), while the specialized space
+  // groups both on the fast machine (period 200). "oto+ls" finds the
+  // improvement, so the one-to-one proof no longer covers the result.
+  core::Application app = core::Application::linear_chain({0, 0});
+  core::Problem problem{std::move(app), test::make_platform({{100, 10000}, {100, 10000}},
+                                                            {{0.0, 0.0}, {0.0, 0.0}})};
+  const SolveResult base = run(problem, "oto");
+  ASSERT_EQ(base.status, Status::kOptimal);
+  const SolveResult refined = run(problem, "oto+ls");
+  ASSERT_TRUE(refined.has_mapping());
+  EXPECT_LT(refined.period, base.period);
+  EXPECT_EQ(refined.status, Status::kFeasible)
+      << "a refined mapping must not inherit the base optimality proof";
+}
+
+TEST(Composition, LocalSearchParamEqualsSuffixId) {
+  const core::Problem problem = medium_problem();
+  const SolveResult by_suffix = run(problem, "H3+ls", {.seed = 2});
+  const SolveResult by_param = run(problem, "H3", {.seed = 2, .local_search = true});
+  ASSERT_TRUE(by_suffix.has_mapping());
+  ASSERT_TRUE(by_param.has_mapping());
+  EXPECT_EQ(*by_suffix.mapping, *by_param.mapping);
+  EXPECT_EQ(by_param.diagnostics.solver_id, "H3+ls");
+}
+
+TEST(Composition, EffectiveSolverIdAppendsSuffixOnce) {
+  SolveParams params;
+  params.local_search = true;
+  EXPECT_EQ(effective_solver_id("H4w", params), "H4w+ls");
+  EXPECT_EQ(effective_solver_id("H4w+ls", params), "H4w+ls");
+  params.local_search = false;
+  EXPECT_EQ(effective_solver_id("H4w", params), "H4w");
+}
+
+std::vector<SolveRequest> mixed_requests(const std::shared_ptr<const core::Problem>& problem) {
+  std::vector<SolveRequest> requests;
+  // Same base seed everywhere: the per-index stream split must still give
+  // the two H1 requests different draws.
+  for (const char* id : {"H1", "H1", "H2", "H4w+ls", "bnb", "oto"}) {
+    SolveRequest request;
+    request.problem = problem;
+    request.solver_id = id;
+    request.params.seed = 1234;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+TEST(Batch, PooledExecutionMatchesSequentialLoop) {
+  const auto problem = std::make_shared<const core::Problem>(medium_problem());
+  const auto requests = mixed_requests(problem);
+
+  const std::vector<SolveResult> serial = BatchSolver(nullptr).solve_all(requests);
+  support::ThreadPool pool(4);
+  const std::vector<SolveResult> pooled = BatchSolver(&pool).solve_all(requests);
+
+  ASSERT_EQ(serial.size(), requests.size());
+  ASSERT_EQ(pooled.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(serial[i].status, pooled[i].status) << i;
+    EXPECT_DOUBLE_EQ(serial[i].period, pooled[i].period) << i;
+    EXPECT_EQ(serial[i].mapping, pooled[i].mapping) << i;
+  }
+
+  // And both match hand-rolled sequential facade calls on the same streams.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    SolveParams params = requests[i].params;
+    params.seed = BatchSolver::stream_seed(params.seed, i);
+    const SolveResult direct = run(*problem, requests[i].solver_id, params);
+    EXPECT_EQ(direct.mapping, serial[i].mapping) << i;
+  }
+}
+
+TEST(Batch, IdenticalSeedsStillGetIndependentStreams) {
+  const auto problem = std::make_shared<const core::Problem>(medium_problem());
+  const auto results = BatchSolver(nullptr).solve_all(mixed_requests(problem));
+  // Requests 0 and 1 are both H1 with the same base seed; the index mix
+  // must decorrelate them (equal mappings would be a one-in-millions fluke).
+  ASSERT_TRUE(results[0].has_mapping());
+  ASSERT_TRUE(results[1].has_mapping());
+  EXPECT_NE(*results[0].mapping, *results[1].mapping);
+}
+
+TEST(Batch, UnknownSolverFailsTheBatchUpFront) {
+  const auto problem = std::make_shared<const core::Problem>(medium_problem());
+  std::vector<SolveRequest> requests = mixed_requests(problem);
+  requests[3].solver_id = "H9";
+  EXPECT_THROW((void)BatchSolver(nullptr).solve_all(requests), std::invalid_argument);
+}
+
+TEST(Batch, NullProblemIsRejected) {
+  std::vector<SolveRequest> requests(1);
+  requests[0].solver_id = "H2";
+  EXPECT_THROW((void)BatchSolver(nullptr).solve_all(requests), std::invalid_argument);
+}
+
+TEST(Batch, EmptyBatchIsFine) {
+  EXPECT_TRUE(BatchSolver(nullptr).solve_all({}).empty());
+}
+
+TEST(Method, WrapsRegistrySolvers) {
+  const core::Problem problem = medium_problem();
+  const exp::Method method = exp::method_for("H4w", "paper-best");
+  EXPECT_EQ(method.name, "paper-best");
+  const auto mapping = method.solve(problem, 5);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(*mapping, *run(problem, "H4w", {.seed = 5}).mapping);
+  EXPECT_THROW((void)exp::method_for("H9"), std::invalid_argument);
+}
+
+TEST(Method, RequireProofDropsBudgetExhaustedTrials) {
+  const core::Problem problem = medium_problem();
+  exp::Method exact = exp::method_exact_specialized(/*max_nodes=*/1);
+  EXPECT_FALSE(exact.solve(problem, 1).has_value())
+      << "a budget-exhausted incumbent must not count as an exact solve";
+  exact = exp::method_exact_specialized(/*max_nodes=*/0);
+  EXPECT_TRUE(exact.solve(problem, 1).has_value());
+}
+
+TEST(Status, ToStringCoversAllValues) {
+  EXPECT_EQ(to_string(Status::kOptimal), "optimal");
+  EXPECT_EQ(to_string(Status::kFeasible), "feasible");
+  EXPECT_EQ(to_string(Status::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(Status::kBudgetExhausted), "budget-exhausted");
+}
+
+}  // namespace
+}  // namespace mf::solve
