@@ -1,0 +1,114 @@
+// Cache micro-bench: cold vs. warm figure sweep through the one execution
+// engine, emitting BENCH_cache.json for the CI perf trajectory.
+//
+// Runs a figure sweep twice with a read-write result cache: the cold pass
+// solves every (trial, method) instance and populates the cache, the warm
+// pass must re-solve nothing. The JSON records both wall times, the
+// speedup, and the cache counters — a warm hit rate below 1.0 or a speedup
+// near 1x is a regression in the content-addressed key or the batch
+// wiring, so the bench doubles as an end-to-end check.
+//
+//   bench_cache [--figure fig06] [--scale K] [--out BENCH_cache.json]
+//
+// Deliberately free of the google-benchmark dependency: one timed pass per
+// temperature is the measurement (the cold pass cannot be repeated without
+// resetting the cache, which is the quantity under test), so the harness
+// would add nothing but a dependency that may be absent.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "exp/figures.hpp"
+#include "exp/runner.hpp"
+#include "solve/cache.hpp"
+#include "support/cli.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+double run_timed_ms(const mf::exp::SweepSpec& spec, const mf::exp::SweepOptions& options,
+                    mf::support::ThreadPool& pool) {
+  const auto start = std::chrono::steady_clock::now();
+  const mf::exp::SweepResult result = mf::exp::run_sweep(spec, options, &pool);
+  (void)result;
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mf::support::CliArgs args(argc, argv);
+  const std::string figure = args.get("figure", "fig06");
+  const auto scale =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("scale", 1)));
+  const std::string out_path = args.get("out", "BENCH_cache.json");
+
+  std::optional<mf::exp::SweepSpec> found = mf::exp::figure_spec_by_name(figure);
+  if (!found.has_value()) {
+    std::fprintf(stderr, "error: unknown figure '%s' (%s)\n", figure.c_str(),
+                 mf::exp::figure_spec_names().c_str());
+    return 2;
+  }
+  mf::exp::SweepSpec spec = *std::move(found);
+  if (scale > 1) spec = mf::exp::scaled_down(spec, scale);
+
+  mf::support::ThreadPool pool;
+  mf::exp::SweepOptions options;
+  options.cache = mf::solve::CachePolicy::kReadWrite;
+
+  mf::solve::ResultCache& cache = mf::solve::ResultCache::global();
+  cache.clear();
+  const mf::solve::CacheStats before = cache.stats();
+  const double cold_ms = run_timed_ms(spec, options, pool);
+  const mf::solve::CacheStats after_cold = cache.stats();
+  const double warm_ms = run_timed_ms(spec, options, pool);
+  const mf::solve::CacheStats after_warm = cache.stats();
+
+  const auto cold_misses = after_cold.misses - before.misses;
+  mf::solve::CacheStats warm_delta;
+  warm_delta.hits = after_warm.hits - after_cold.hits;
+  warm_delta.misses = after_warm.misses - after_cold.misses;
+  const auto warm_hits = warm_delta.hits;
+  const auto warm_misses = warm_delta.misses;
+  const double warm_hit_rate = warm_delta.hit_rate();
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+
+  char json[512];
+  std::snprintf(json, sizeof json,
+                "{\n"
+                "  \"bench\": \"cache\",\n"
+                "  \"figure\": \"%s\",\n"
+                "  \"scale\": %zu,\n"
+                "  \"threads\": %zu,\n"
+                "  \"cold_ms\": %.3f,\n"
+                "  \"warm_ms\": %.3f,\n"
+                "  \"speedup\": %.2f,\n"
+                "  \"cold_misses\": %llu,\n"
+                "  \"warm_hits\": %llu,\n"
+                "  \"warm_misses\": %llu,\n"
+                "  \"warm_hit_rate\": %.4f\n"
+                "}\n",
+                spec.name.c_str(), scale, pool.size(), cold_ms, warm_ms, speedup,
+                static_cast<unsigned long long>(cold_misses),
+                static_cast<unsigned long long>(warm_hits),
+                static_cast<unsigned long long>(warm_misses), warm_hit_rate);
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("%s", json);
+  std::printf("written to %s\n", out_path.c_str());
+
+  // Exit nonzero when the warm pass re-solved anything — or never consulted
+  // the cache at all (warm_hits == 0 would make the miss check vacuous):
+  // CI then catches both a broken cache key and dropped cache wiring, even
+  // if nobody reads the timing numbers.
+  return warm_misses == 0 && warm_hits > 0 ? 0 : 1;
+}

@@ -6,36 +6,62 @@
 // registry, optionally refine and simulate, and save the mapping.
 //
 //   mfsched <problem-file> [--method ID] [--refine] [--simulate N]
-//           [--budget NODES] [--out mapping-file] [--seed S]
+//           [--budget NODES] [--out mapping-file] [--seed S] [--cache MODE]
 //   mfsched --list
+//   mfsched --figure NAME [--scale K] [--cache MODE] [--repeat R]
+//           [--shard i/N [--out shard-file]]
+//   mfsched --merge <shard-file>...
 //
 // `--method` accepts every registered solver id (try `--list`): the paper
 // heuristics H1..H4f, the exact solvers bnb / mip / brute, the one-to-one
 // solver oto, and "+ls" composites such as H4w+ls. `exact` stays as an
 // alias for bnb. `--refine` is shorthand for appending "+ls".
+//
+// `--figure` runs one paper sweep (fig05..fig12) through the one execution
+// engine. `--shard i/N` evaluates only shard i's deterministic slice of the
+// (point, trial) pairs and writes a shard file; `--merge` recombines one
+// file per shard into the complete result — bit-identical to the unsharded
+// run. `--cache off|read|rw` sets the result-cache policy; with rw, a
+// `--repeat`ed sweep re-solves nothing (the printed hit counters prove it).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/evaluation.hpp"
 #include "core/io.hpp"
+#include "exp/figures.hpp"
+#include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "exp/sweep_io.hpp"
 #include "sim/simulator.hpp"
+#include "solve/cache.hpp"
 #include "solve/registry.hpp"
 #include "solve/solver.hpp"
 #include "support/cli.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
 int usage(const char* program) {
   std::printf(
       "usage: %s <problem-file> [--method ID] [--refine] [--simulate N]\n"
-      "          [--budget NODES] [--out FILE] [--seed S]\n"
+      "          [--budget NODES] [--out FILE] [--seed S] [--cache off|read|rw]\n"
       "       %s --list\n"
       "       %s --demo [--tasks N --machines M --types P --seed S]\n"
-      "--list  prints every registered solver id\n"
-      "--demo  writes demo_problem.txt instead of scheduling\n",
-      program, program, program);
+      "       %s --figure NAME [--scale K] [--cache MODE] [--repeat R]\n"
+      "          [--shard i/N [--out shard-file]]\n"
+      "       %s --merge <shard-file>...\n"
+      "--list    prints every registered solver id\n"
+      "--demo    writes demo_problem.txt instead of scheduling\n"
+      "--figure  runs a paper sweep (%s)\n"
+      "--shard   runs only slice i of N and writes a shard file for --merge\n"
+      "--merge   recombines shard files into the full sweep table\n",
+      program, program, program, program, program,
+      mf::exp::figure_spec_names().c_str());
   return 2;
 }
 
@@ -48,6 +74,155 @@ int list_solvers() {
   return 0;
 }
 
+mf::solve::CachePolicy parse_cache_flag(const mf::support::CliArgs& args) {
+  const std::string text = args.get("cache", "off");
+  const auto policy = mf::solve::cache_policy_from_string(text);
+  if (!policy.has_value()) {
+    std::fprintf(stderr, "error: unknown --cache mode '%s' (off, read, rw)\n", text.c_str());
+    std::exit(2);
+  }
+  return *policy;
+}
+
+void print_cache_delta(const mf::solve::CacheStats& before) {
+  const mf::solve::CacheStats now = mf::solve::ResultCache::global().stats();
+  mf::solve::CacheStats delta;
+  delta.hits = now.hits - before.hits;
+  delta.misses = now.misses - before.misses;
+  delta.evictions = now.evictions - before.evictions;
+  std::printf("cache: %llu hits / %llu misses (%.1f%% hit rate), %llu evictions, %zu resident\n",
+              static_cast<unsigned long long>(delta.hits),
+              static_cast<unsigned long long>(delta.misses), 100.0 * delta.hit_rate(),
+              static_cast<unsigned long long>(delta.evictions), now.size);
+}
+
+void print_sweep(const mf::exp::SweepResult& result) {
+  std::printf("%s\n", result.to_table().to_string().c_str());
+  std::printf("%s\n", result.to_chart().c_str());
+}
+
+/// Reads a positive integer flag, clamping zero/negative values to 1 (a
+/// negative value cast to size_t would otherwise mean ~2^64 repeats).
+std::size_t get_positive(const mf::support::CliArgs& args, const std::string& name) {
+  return static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int(name, 1)));
+}
+
+int run_figure(const mf::support::CliArgs& args) {
+  const std::string name = args.get("figure", "");
+  std::optional<mf::exp::SweepSpec> found = mf::exp::figure_spec_by_name(name);
+  if (!found.has_value()) {
+    std::fprintf(stderr, "error: unknown figure '%s' (%s)\n", name.c_str(),
+                 mf::exp::figure_spec_names().c_str());
+    return 2;
+  }
+  mf::exp::SweepSpec spec = *std::move(found);
+  const std::size_t scale = get_positive(args, "scale");
+  if (scale > 1) spec = mf::exp::scaled_down(spec, scale);
+  // --seed overrides the spec's fixed base seed for independent
+  // replications; all shards of one campaign must then share the value.
+  if (args.has("seed")) {
+    spec.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  }
+
+  mf::exp::SweepOptions options;
+  options.cache = parse_cache_flag(args);
+  const std::string shard_text = args.get("shard", "");
+  if (!shard_text.empty()) {
+    unsigned long long index = 0;
+    unsigned long long count = 0;
+    if (std::sscanf(shard_text.c_str(), "%llu/%llu", &index, &count) != 2 || count < 2 ||
+        index >= count) {
+      std::fprintf(stderr, "error: --shard expects i/N with 0 <= i < N and N >= 2\n");
+      return 2;
+    }
+    options.shard = {static_cast<std::size_t>(index), static_cast<std::size_t>(count)};
+  }
+
+  mf::support::ThreadPool pool;
+  std::printf("=== %s: %s ===\n", spec.name.c_str(), spec.description.c_str());
+  std::printf("scenario: %s; sweep over %s; %zu trials/point; cache %s\n",
+              spec.base.describe().c_str(), mf::exp::to_string(spec.variable).c_str(),
+              spec.trials, mf::solve::to_string(options.cache).c_str());
+
+  if (options.shard.is_sharded()) {
+    if (args.get_int("repeat", 1) != 1) {
+      std::fprintf(stderr, "error: --repeat cannot be combined with --shard\n");
+      return 2;
+    }
+    const auto before = mf::solve::ResultCache::global().stats();
+    const mf::exp::SweepResult result = mf::exp::run_sweep(spec, options, &pool);
+    std::string out = args.get("out", "");
+    if (out.empty()) {
+      out = spec.name + ".shard" + std::to_string(options.shard.index) + "-of-" +
+            std::to_string(options.shard.count) + ".txt";
+    }
+    try {
+      mf::exp::save_sweep_shard(result, out);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 1;
+    }
+    std::size_t outcomes = 0;
+    for (const mf::exp::PointResult& point : result.points) {
+      outcomes += point.trial_outcomes.size();
+    }
+    std::printf("shard %zu/%zu: %zu trial outcomes over %zu points written to %s\n",
+                options.shard.index, options.shard.count, outcomes, result.points.size(),
+                out.c_str());
+    if (options.cache != mf::solve::CachePolicy::kOff) print_cache_delta(before);
+    return 0;
+  }
+
+  const std::size_t repeat = get_positive(args, "repeat");
+  const std::string out = args.get("out", "");
+  for (std::size_t round = 0; round < repeat; ++round) {
+    if (repeat > 1) std::printf("--- run %zu of %zu ---\n", round + 1, repeat);
+    const auto before = mf::solve::ResultCache::global().stats();
+    const mf::exp::SweepResult result = mf::exp::run_sweep(spec, options, &pool);
+    print_sweep(result);
+    if (options.cache != mf::solve::CachePolicy::kOff) print_cache_delta(before);
+    if (!out.empty()) {
+      std::ofstream file(out);
+      file << result.to_table().to_string() << "\n" << result.to_chart() << "\n";
+      file.flush();
+      if (!file.good()) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+      }
+      std::printf("table written to %s\n", out.c_str());
+    }
+  }
+  return 0;
+}
+
+int run_merge(const mf::support::CliArgs& args) {
+  // The flag parser binds the first file to --merge itself ("--name value"
+  // form); the rest arrive as positionals.
+  std::vector<std::string> paths;
+  const std::string bound = args.get("merge", "");
+  if (!bound.empty() && bound != "true") paths.push_back(bound);
+  paths.insert(paths.end(), args.positional().begin(), args.positional().end());
+  if (paths.empty()) {
+    std::fprintf(stderr, "error: --merge needs one shard file per shard\n");
+    return 2;
+  }
+  std::vector<mf::exp::SweepResult> shards;
+  shards.reserve(paths.size());
+  try {
+    for (const std::string& path : paths) {
+      shards.push_back(mf::exp::load_sweep_shard(path));
+    }
+    const mf::exp::SweepResult result = mf::exp::merge(std::move(shards));
+    std::printf("=== %s: %s (merged from %zu shards) ===\n", result.spec.name.c_str(),
+                result.spec.description.c_str(), paths.size());
+    print_sweep(result);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,6 +230,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
   if (args.has("list")) return list_solvers();
+  if (args.has("figure")) return run_figure(args);
+  if (args.has("merge")) return run_merge(args);
 
   if (args.has("demo")) {
     mf::exp::Scenario scenario;
@@ -86,6 +263,7 @@ int main(int argc, char** argv) {
   mf::solve::SolveParams params;
   params.seed = seed;
   params.local_search = args.has("refine");
+  params.cache = parse_cache_flag(args);
   if (args.has("budget")) {
     params.max_nodes = static_cast<std::uint64_t>(args.get_int("budget", 0));
   }
@@ -116,6 +294,7 @@ int main(int argc, char** argv) {
   if (diag.nodes_explored > 0) {
     std::printf(", %llu nodes", static_cast<unsigned long long>(diag.nodes_explored));
   }
+  if (diag.cache_hit) std::printf(", cache hit");
   std::printf("]\n");
   if (diag.refined) {
     std::printf("refinement: -%.1f ms/product over %zu moves (%s)\n",

@@ -1,0 +1,82 @@
+#include "core/digest.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace mf::core {
+
+namespace {
+
+/// Section tags keep the serialization unambiguous: a stream cannot be
+/// reinterpreted across field boundaries (e.g. a type vector ending where a
+/// matrix begins), so equal digests mean equal field-by-field content.
+enum : std::uint64_t {
+  kTagHeader = 0x4D46'4449'4745'5354ULL,  // "MFDIGEST", layout version below
+  kTagTypes = 1,
+  kTagGraph = 2,
+  kTagTimes = 3,
+  kTagFailures = 4,
+};
+
+constexpr std::uint64_t kLayoutVersion = 1;
+
+}  // namespace
+
+std::string to_string(const Digest& digest) {
+  char buffer[33];
+  std::snprintf(buffer, sizeof buffer, "%016llx%016llx",
+                static_cast<unsigned long long>(digest.hi),
+                static_cast<unsigned long long>(digest.lo));
+  return buffer;
+}
+
+DigestBuilder& DigestBuilder::add_u64(std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    const auto b = static_cast<std::uint8_t>(value >> (8 * byte));
+    lo_ = (lo_ ^ b) * support::kFnv1aPrime;
+    hi_ = (hi_ ^ (b ^ 0xA5U)) * support::kFnv1aPrime;
+  }
+  return *this;
+}
+
+DigestBuilder& DigestBuilder::add_double(double value) noexcept {
+  return add_u64(std::bit_cast<std::uint64_t>(value));
+}
+
+DigestBuilder& DigestBuilder::add_bytes(std::string_view bytes) noexcept {
+  add_u64(bytes.size());
+  for (const char c : bytes) {
+    const auto b = static_cast<std::uint8_t>(c);
+    lo_ = (lo_ ^ b) * support::kFnv1aPrime;
+    hi_ = (hi_ ^ (b ^ 0xA5U)) * support::kFnv1aPrime;
+  }
+  return *this;
+}
+
+Digest digest(const Problem& problem) {
+  const std::size_t n = problem.task_count();
+  const std::size_t m = problem.machine_count();
+
+  DigestBuilder builder;
+  builder.add_u64(kTagHeader).add_u64(kLayoutVersion);
+  builder.add_u64(n).add_u64(m).add_u64(problem.type_count());
+
+  builder.add_u64(kTagTypes);
+  for (TaskIndex i = 0; i < n; ++i) builder.add_u64(problem.app.type_of(i));
+
+  builder.add_u64(kTagGraph);
+  for (TaskIndex i = 0; i < n; ++i) builder.add_u64(problem.app.successor(i));
+
+  builder.add_u64(kTagTimes);
+  for (TaskIndex i = 0; i < n; ++i) {
+    for (MachineIndex u = 0; u < m; ++u) builder.add_double(problem.platform.time(i, u));
+  }
+
+  builder.add_u64(kTagFailures);
+  for (TaskIndex i = 0; i < n; ++i) {
+    for (MachineIndex u = 0; u < m; ++u) builder.add_double(problem.platform.failure(i, u));
+  }
+  return builder.finish();
+}
+
+}  // namespace mf::core

@@ -1,0 +1,62 @@
+// Stable content fingerprints for problem instances.
+//
+// `digest(problem)` canonically serializes everything that defines a
+// `Problem` — dimensions, task types, the dependency graph, and the w / f
+// matrices with doubles taken bit-exactly — and folds the byte stream
+// through two independent FNV-1a lanes into a 128-bit `Digest`. Two
+// problems with identical content always produce the same digest, however
+// they were constructed (direct matrices, `from_type_tables`, file
+// round-trips); flipping any single matrix cell, type or edge changes it.
+//
+// The digest is the content address of the solve layer: the result cache
+// keys on (digest, solver id, params), and sharded sweeps rely on digests
+// being identical across processes and platforms — which is why the hash is
+// FNV-1a over an explicit byte layout rather than std::hash or anything
+// implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/platform.hpp"
+#include "support/rng.hpp"
+
+namespace mf::core {
+
+/// 128-bit content fingerprint. Wide enough that distinct instances of a
+/// figure campaign colliding is not a practical concern.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] bool operator==(const Digest&) const = default;
+  [[nodiscard]] auto operator<=>(const Digest&) const = default;
+};
+
+/// 32 lowercase hex characters, hi word first.
+[[nodiscard]] std::string to_string(const Digest& digest);
+
+/// Incremental digest construction. Everything reduces to `add_u64`, which
+/// feeds the value's eight little-endian bytes through both FNV-1a lanes;
+/// the two lanes differ in offset basis and per-byte tweak so they act as
+/// independent hash functions over the same canonical stream.
+class DigestBuilder {
+ public:
+  DigestBuilder& add_u64(std::uint64_t value) noexcept;
+  /// Bit-exact: hashes the IEEE-754 representation, so any representable
+  /// change to a matrix cell changes the digest.
+  DigestBuilder& add_double(double value) noexcept;
+  DigestBuilder& add_bytes(std::string_view bytes) noexcept;
+
+  [[nodiscard]] Digest finish() const noexcept { return {hi_, lo_}; }
+
+ private:
+  std::uint64_t lo_ = support::kFnv1aOffsetBasis;
+  std::uint64_t hi_ = support::kFnv1aOffsetBasis ^ 0x9E3779B97F4A7C15ULL;
+};
+
+/// The canonical fingerprint of a problem instance.
+[[nodiscard]] Digest digest(const Problem& problem);
+
+}  // namespace mf::core

@@ -132,6 +132,22 @@ std::vector<SweepSpec> all_figure_specs() {
           figure9_spec(), figure10_spec(), figure12_spec()};
 }
 
+std::optional<SweepSpec> figure_spec_by_name(const std::string& name) {
+  for (SweepSpec& spec : all_figure_specs()) {
+    if (spec.name == name) return std::move(spec);
+  }
+  return std::nullopt;
+}
+
+std::string figure_spec_names() {
+  std::string names;
+  for (const SweepSpec& spec : all_figure_specs()) {
+    if (!names.empty()) names += ' ';
+    names += spec.name;
+  }
+  return names;
+}
+
 SweepSpec scaled_down(SweepSpec spec, std::size_t factor) {
   spec.trials = std::max<std::size_t>(1, spec.trials / factor);
   spec.max_trials = std::max<std::size_t>(spec.trials, spec.max_trials / factor);

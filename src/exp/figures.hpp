@@ -11,6 +11,8 @@
 // from fig10's result via SweepResult::mean_ratio_to / ratio tables.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "exp/runner.hpp"
@@ -31,6 +33,14 @@ inline constexpr std::uint64_t kFigureExactNodeBudget = 5'000'000;
 
 /// All figure sweeps in paper order (Figure 11 derives from Figure 10).
 [[nodiscard]] std::vector<SweepSpec> all_figure_specs();
+
+/// Lookup by spec name ("fig05".."fig12"); nullopt when unknown. The
+/// single source of truth for tools that take a figure by name (mfsched
+/// --figure, bench_cache).
+[[nodiscard]] std::optional<SweepSpec> figure_spec_by_name(const std::string& name);
+
+/// Space-separated known figure names, for usage/error messages.
+[[nodiscard]] std::string figure_spec_names();
 
 /// Scales trial counts down by `factor` (at least 1 trial per point); used
 /// by smoke tests and quick bench runs. The default benches run the paper's

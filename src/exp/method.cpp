@@ -1,6 +1,7 @@
 #include "exp/method.hpp"
 
 #include "heuristics/heuristic.hpp"
+#include "solve/cache.hpp"
 #include "solve/registry.hpp"
 
 namespace mf::exp {
@@ -10,9 +11,12 @@ solve::SolveResult Method::run(const core::Problem& problem, std::uint64_t seed)
   trial_params.seed = seed;
   // The cached solver is only valid while it still matches what the params
   // would resolve to (params.local_search may have changed since method_for).
+  // Both paths go through cached_solve so params.cache is honoured exactly
+  // like the facade promises.
   if (solver != nullptr &&
       solver->id() == solve::effective_solver_id(solver_id, trial_params)) {
-    return solve::timed_solve(*solver, problem, trial_params);
+    return solve::cached_solve(*solver, problem, trial_params,
+                               solve::ResultCache::global());
   }
   return solve::run(problem, solver_id, trial_params);
 }

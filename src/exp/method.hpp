@@ -26,8 +26,10 @@ struct Method {
   /// protocol for the exact methods ("results are reported only if ... the
   /// MIP" succeeds); mirrors its CPLEX timeouts on larger instances.
   bool require_proof = false;
-  /// Resolved once by method_for so the thousands of trials of a sweep
-  /// skip the registry lock; when null, run() resolves `solver_id` anew.
+  /// Resolved once by method_for so direct `run()` calls (the per-method
+  /// benches) skip the registry lock; when null, run() resolves
+  /// `solver_id` anew. Sweeps no longer use it — the runner goes through
+  /// BatchSolver, which dedupes its own resolution per batch.
   std::shared_ptr<const solve::Solver> solver;
 
   /// Full-fidelity solve through the registry; `seed` overrides

@@ -1,11 +1,11 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
-#include <functional>
-#include <mutex>
-#include <optional>
+#include <memory>
+#include <utility>
 
 #include "core/evaluation.hpp"
+#include "solve/batch.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -21,6 +21,15 @@ std::string to_string(SweepVariable variable) {
       return "number of machines";
   }
   return "?";
+}
+
+std::size_t ShardSpec::owner(std::size_t point_index, std::size_t trial,
+                             std::size_t count) noexcept {
+  if (count <= 1) return 0;
+  return static_cast<std::size_t>(
+      support::mix_seed(static_cast<std::uint64_t>(point_index),
+                        static_cast<std::uint64_t>(trial)) %
+      static_cast<std::uint64_t>(count));
 }
 
 namespace {
@@ -41,23 +50,172 @@ Scenario scenario_for(const SweepSpec& spec, std::size_t value) {
   return scenario;
 }
 
-/// Periods of all methods on one instance, or nullopt if any method failed
-/// (the paired-design protocol keeps only trials every method completed).
-std::optional<std::vector<double>> run_trial(const SweepSpec& spec, const Scenario& scenario,
-                                             std::uint64_t seed) {
-  const core::Problem problem = generate(scenario, seed);
-  std::vector<double> periods;
-  periods.reserve(spec.methods.size());
-  for (const Method& method : spec.methods) {
-    // Each (trial, method) pair gets its own deterministic seed stream so
-    // adding or reordering methods never perturbs another column.
-    const std::uint64_t method_seed =
-        support::mix_seed(seed, std::hash<std::string>{}(method.name));
-    const solve::SolveResult result = method.run(problem, method_seed);
-    if (!method.counts(result)) return std::nullopt;
-    periods.push_back(result.period);
+/// The content-addressed seed hierarchy: a trial's instance seed depends
+/// only on (base_seed, point, trial), and each (trial, method) pair derives
+/// its solver seed from the trial seed and a *stable* hash of the method
+/// name (support::fnv1a64 — std::hash would differ across standard
+/// libraries), so adding or reordering methods never perturbs another
+/// column, and no seed depends on batch composition or shard assignment.
+std::uint64_t trial_seed(const SweepSpec& spec, std::size_t point_index, std::size_t trial) {
+  return support::mix_seed(spec.base_seed, (point_index << 20) | trial);
+}
+
+std::uint64_t method_seed(std::uint64_t trial_seed, const Method& method) {
+  return support::mix_seed(trial_seed, support::fnv1a64(method.name));
+}
+
+/// Evaluates the listed trials of one point through the batch engine: one
+/// SolveRequest per (trial, method), all methods of a trial sharing one
+/// generated instance — the paired design. Returns one outcome per listed
+/// trial, in listing order; a trial succeeds only when every method counts
+/// its result (the paper's common-success protocol).
+std::vector<TrialOutcome> evaluate_trials(const SweepSpec& spec, const Scenario& scenario,
+                                          std::size_t point_index,
+                                          const std::vector<std::size_t>& trials,
+                                          const SweepOptions& options,
+                                          support::ThreadPool* pool) {
+  const std::size_t method_count = spec.methods.size();
+
+  // Instance generation is deterministic in (scenario, seed), so it fans
+  // out over the pool like the solves do — a serial generation prefix
+  // would cap the speedup of sweeps with cheap solvers (Amdahl).
+  std::vector<std::shared_ptr<const core::Problem>> problems(trials.size());
+  const auto generate_trial = [&](std::size_t t) {
+    problems[t] = std::make_shared<const core::Problem>(
+        generate(scenario, trial_seed(spec, point_index, trials[t])));
+  };
+  if (pool != nullptr) {
+    support::parallel_for(*pool, trials.size(), generate_trial);
+  } else {
+    for (std::size_t t = 0; t < trials.size(); ++t) generate_trial(t);
   }
-  return periods;
+
+  std::vector<solve::SolveRequest> requests;
+  requests.reserve(trials.size() * method_count);
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    const std::size_t trial = trials[t];
+    const std::uint64_t seed = trial_seed(spec, point_index, trial);
+    const std::shared_ptr<const core::Problem>& problem = problems[t];
+    for (const Method& method : spec.methods) {
+      solve::SolveRequest request;
+      request.problem = problem;
+      request.solver_id = method.solver_id;
+      request.params = method.params;
+      request.params.seed = method_seed(seed, method);
+      request.params.cache = options.cache;
+      request.derive_stream_seed = false;  // seeds above are already final
+      requests.push_back(std::move(request));
+    }
+  }
+
+  const std::vector<solve::SolveResult> results =
+      solve::BatchSolver(pool).solve_all(requests);
+
+  std::vector<TrialOutcome> outcomes(trials.size());
+  for (std::size_t t = 0; t < trials.size(); ++t) {
+    TrialOutcome& outcome = outcomes[t];
+    outcome.success = true;
+    outcome.periods.reserve(method_count);
+    for (std::size_t k = 0; k < method_count; ++k) {
+      const solve::SolveResult& result = results[t * method_count + k];
+      if (!spec.methods[k].counts(result)) {
+        outcome.success = false;
+        outcome.periods.clear();
+        break;
+      }
+      outcome.periods.push_back(result.period);
+    }
+  }
+  return outcomes;
+}
+
+std::vector<std::size_t> iota_trials(std::size_t from, std::size_t to) {
+  std::vector<std::size_t> trials(to - from);
+  for (std::size_t t = from; t < to; ++t) trials[t - from] = t;
+  return trials;
+}
+
+/// Aggregates trial outcomes indexed [0, drawn) into a PointResult: the
+/// first `spec.trials` successes in trial order feed the per-method stats.
+/// Shared verbatim by the direct path and merge(), which is what makes a
+/// merged sharded sweep bit-identical to the unsharded run.
+PointResult aggregate_point(const SweepSpec& spec, std::size_t sweep_value,
+                            const std::vector<TrialOutcome>& outcomes, std::size_t drawn) {
+  PointResult point;
+  point.sweep_value = sweep_value;
+  std::vector<support::RunningStats> stats(spec.methods.size());
+  std::size_t kept = 0;
+  for (std::size_t t = 0; t < drawn && kept < spec.trials; ++t) {
+    if (!outcomes[t].success) continue;
+    ++kept;
+    for (std::size_t k = 0; k < spec.methods.size(); ++k) {
+      stats[k].add(outcomes[t].periods[k]);
+    }
+  }
+  point.attempts = drawn;
+  point.successes = kept;
+  for (std::size_t k = 0; k < spec.methods.size(); ++k) {
+    point.period_by_method[spec.methods[k].name] = stats[k].summary();
+  }
+  return point;
+}
+
+void validate_spec(const SweepSpec& spec) {
+  MF_REQUIRE(!spec.methods.empty(), "sweep needs at least one method");
+  MF_REQUIRE(!spec.values.empty(), "sweep needs at least one point");
+  MF_REQUIRE(spec.max_trials >= spec.trials, "max_trials must cover trials");
+}
+
+/// One complete (unsharded) point: draw `trials` instances, then — while
+/// short of `trials` common successes — draw exactly as many extra
+/// instances as successes are missing, up to max_trials. The rounds draw
+/// the same trial sequence the paper's one-at-a-time protocol draws
+/// (a round of size `needed` can at most reach the target on its last
+/// trial), so `attempts` matches it exactly.
+PointResult run_point(const SweepSpec& spec, std::size_t point_index, std::size_t value,
+                      const SweepOptions& options, support::ThreadPool* pool) {
+  const Scenario scenario = scenario_for(spec, value);
+  std::vector<TrialOutcome> outcomes;
+  outcomes.reserve(spec.trials);
+  std::size_t successes = 0;
+  while (true) {
+    const std::size_t drawn = outcomes.size();
+    std::size_t round = 0;
+    if (drawn == 0) {
+      round = spec.trials;
+    } else if (successes < spec.trials && drawn < spec.max_trials) {
+      round = std::min(spec.trials - successes, spec.max_trials - drawn);
+    }
+    if (round == 0) break;
+    std::vector<TrialOutcome> fresh = evaluate_trials(
+        spec, scenario, point_index, iota_trials(drawn, drawn + round), options, pool);
+    for (TrialOutcome& outcome : fresh) {
+      successes += outcome.success ? 1 : 0;
+      outcomes.push_back(std::move(outcome));
+    }
+  }
+  return aggregate_point(spec, value, outcomes, outcomes.size());
+}
+
+/// One sharded point: evaluate every owned trial in [0, max_trials) and
+/// record the raw outcomes for merge(). The shard cannot stop early — how
+/// far the global retry protocol reaches depends on other shards' failures.
+PointResult run_point_shard(const SweepSpec& spec, std::size_t point_index, std::size_t value,
+                            const SweepOptions& options, support::ThreadPool* pool) {
+  const Scenario scenario = scenario_for(spec, value);
+  std::vector<std::size_t> owned;
+  for (std::size_t trial = 0; trial < spec.max_trials; ++trial) {
+    if (options.shard.owns(point_index, trial)) owned.push_back(trial);
+  }
+  std::vector<TrialOutcome> outcomes =
+      evaluate_trials(spec, scenario, point_index, owned, options, pool);
+
+  PointResult point;
+  point.sweep_value = value;
+  for (std::size_t t = 0; t < owned.size(); ++t) {
+    point.trial_outcomes.emplace(owned[t], std::move(outcomes[t]));
+  }
+  return point;
 }
 
 }  // namespace
@@ -117,62 +275,104 @@ std::map<std::string, double> SweepResult::mean_ratio_to(const std::string& refe
 }
 
 SweepResult run_sweep(const SweepSpec& spec, support::ThreadPool* pool) {
-  MF_REQUIRE(!spec.methods.empty(), "sweep needs at least one method");
-  MF_REQUIRE(!spec.values.empty(), "sweep needs at least one point");
-  MF_REQUIRE(spec.max_trials >= spec.trials, "max_trials must cover trials");
+  return run_sweep(spec, SweepOptions{}, pool);
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options,
+                      support::ThreadPool* pool) {
+  validate_spec(spec);
+  MF_REQUIRE(options.shard.count >= 1, "shard count must be at least 1");
+  MF_REQUIRE(options.shard.index < options.shard.count,
+             "shard index must be below shard count");
+
+  SweepResult result;
+  result.spec = spec;
+  result.shard = options.shard;
+  result.points.reserve(spec.values.size());
+  for (std::size_t point_index = 0; point_index < spec.values.size(); ++point_index) {
+    const std::size_t value = spec.values[point_index];
+    result.points.push_back(
+        options.shard.is_sharded()
+            ? run_point_shard(spec, point_index, value, options, pool)
+            : run_point(spec, point_index, value, options, pool));
+  }
+  return result;
+}
+
+SweepResult merge(std::vector<SweepResult> shards) {
+  MF_REQUIRE(!shards.empty(), "merge needs at least one shard result");
+  // Order by shard index so validation reads naturally and the merge is
+  // independent of the order shards were collected in.
+  std::sort(shards.begin(), shards.end(),
+            [](const SweepResult& a, const SweepResult& b) {
+              return a.shard.index < b.shard.index;
+            });
+
+  const SweepResult& first = shards.front();
+  const SweepSpec& spec = first.spec;
+  validate_spec(spec);
+  MF_REQUIRE(shards.size() == first.shard.count,
+             "merge needs exactly one result per shard");
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const SweepResult& shard = shards[s];
+    MF_REQUIRE(shard.is_partial(), "merge input must be sharded partial results");
+    MF_REQUIRE(shard.shard.index == s, "duplicate or missing shard index");
+    MF_REQUIRE(shard.shard.count == first.shard.count, "shard counts disagree");
+    MF_REQUIRE(shard.spec.name == spec.name && shard.spec.values == spec.values &&
+                   shard.spec.variable == spec.variable && shard.spec.trials == spec.trials &&
+                   shard.spec.max_trials == spec.max_trials &&
+                   shard.spec.base_seed == spec.base_seed,
+               "shard sweep specs disagree");
+    // The scenario defines the experiment: a stale shard regenerated after
+    // a spec edit would otherwise merge silently into a mixed table.
+    const Scenario& base = shard.spec.base;
+    MF_REQUIRE(base.tasks == spec.base.tasks && base.machines == spec.base.machines &&
+                   base.types == spec.base.types &&
+                   base.time_min_ms == spec.base.time_min_ms &&
+                   base.time_max_ms == spec.base.time_max_ms &&
+                   base.failure_min == spec.base.failure_min &&
+                   base.failure_max == spec.base.failure_max &&
+                   base.failure_attachment == spec.base.failure_attachment &&
+                   base.integer_times == spec.base.integer_times,
+               "shard base scenarios disagree");
+    MF_REQUIRE(shard.spec.methods.size() == spec.methods.size(),
+               "shard method lists disagree");
+    for (std::size_t k = 0; k < spec.methods.size(); ++k) {
+      MF_REQUIRE(shard.spec.methods[k].name == spec.methods[k].name &&
+                     shard.spec.methods[k].solver_id == spec.methods[k].solver_id &&
+                     shard.spec.methods[k].require_proof == spec.methods[k].require_proof,
+                 "shard method lists disagree");
+    }
+    MF_REQUIRE(shard.points.size() == spec.values.size(), "shard point counts disagree");
+  }
 
   SweepResult result;
   result.spec = spec;
   result.points.reserve(spec.values.size());
-
   for (std::size_t point_index = 0; point_index < spec.values.size(); ++point_index) {
-    const std::size_t value = spec.values[point_index];
-    const Scenario scenario = scenario_for(spec, value);
-
-    PointResult point;
-    point.sweep_value = value;
-
-    // Draw up to max_trials instances; keep the first `trials` successes.
-    // Trials are independent, so they run in parallel; a mutex serializes
-    // only the cheap aggregation.
-    std::vector<std::optional<std::vector<double>>> outcomes(spec.max_trials);
-    const auto trial_body = [&](std::size_t trial) {
-      const std::uint64_t seed =
-          support::mix_seed(spec.base_seed, (point_index << 20) | trial);
-      outcomes[trial] = run_trial(spec, scenario, seed);
-    };
-
-    // Fast path: if no method can fail we only need `trials` draws.
-    const std::size_t first_batch = spec.trials;
-    if (pool != nullptr) {
-      support::parallel_for(*pool, first_batch, trial_body);
-    } else {
-      for (std::size_t t = 0; t < first_batch; ++t) trial_body(t);
+    // Reassemble the full outcome sequence from each owner shard, then
+    // replay the retry protocol: draw `trials`, extend one trial at a time
+    // while short of `trials` successes, stop at max_trials.
+    std::vector<TrialOutcome> outcomes;
+    outcomes.reserve(spec.max_trials);
+    for (std::size_t trial = 0; trial < spec.max_trials; ++trial) {
+      const std::size_t owner =
+          ShardSpec::owner(point_index, trial, first.shard.count);
+      const PointResult& shard_point = shards[owner].points[point_index];
+      const auto it = shard_point.trial_outcomes.find(trial);
+      MF_REQUIRE(it != shard_point.trial_outcomes.end(),
+                 "shard result is missing an owned trial outcome");
+      outcomes.push_back(it->second);
     }
-    std::size_t drawn = first_batch;
+    std::size_t drawn = spec.trials;
     std::size_t successes = 0;
-    for (std::size_t t = 0; t < drawn; ++t) successes += outcomes[t].has_value() ? 1 : 0;
+    for (std::size_t t = 0; t < drawn; ++t) successes += outcomes[t].success ? 1 : 0;
     while (successes < spec.trials && drawn < spec.max_trials) {
-      trial_body(drawn);
-      successes += outcomes[drawn].has_value() ? 1 : 0;
+      successes += outcomes[drawn].success ? 1 : 0;
       ++drawn;
     }
-
-    std::vector<support::RunningStats> stats(spec.methods.size());
-    std::size_t kept = 0;
-    for (std::size_t t = 0; t < drawn && kept < spec.trials; ++t) {
-      if (!outcomes[t].has_value()) continue;
-      ++kept;
-      for (std::size_t k = 0; k < spec.methods.size(); ++k) {
-        stats[k].add((*outcomes[t])[k]);
-      }
-    }
-    point.attempts = drawn;
-    point.successes = kept;
-    for (std::size_t k = 0; k < spec.methods.size(); ++k) {
-      point.period_by_method[spec.methods[k].name] = stats[k].summary();
-    }
-    result.points.push_back(std::move(point));
+    result.points.push_back(
+        aggregate_point(spec, spec.values[point_index], outcomes, drawn));
   }
   return result;
 }

@@ -17,6 +17,8 @@
 
 namespace mf::solve {
 
+class ResultCache;
+
 /// One unit of batch work. Problems are shared_ptr so many requests (e.g.
 /// every method of a paired-design trial) can reference one instance
 /// without copying the matrices.
@@ -24,18 +26,29 @@ struct SolveRequest {
   std::shared_ptr<const core::Problem> problem;
   std::string solver_id;  ///< registry id, composites ("H4w+ls") included
   SolveParams params;
+  /// When true (the default) the batch runs the request with
+  /// `stream_seed(params.seed, index)`, decorrelating same-seed requests.
+  /// Set false when the caller already derived a content-addressed seed per
+  /// request — the sweep runner does, so a request's result (and its cache
+  /// key) never depends on batch composition or shard assignment.
+  bool derive_stream_seed = true;
 };
 
 class BatchSolver {
  public:
   /// `pool` may be null for serial execution; results are identical either
-  /// way (modulo wall-time diagnostics).
-  explicit BatchSolver(support::ThreadPool* pool = nullptr) : pool_(pool) {}
+  /// way (modulo wall-time diagnostics). `cache` overrides the process-wide
+  /// `ResultCache::global()` consulted for requests whose params enable
+  /// caching (tests and benches isolate themselves this way).
+  explicit BatchSolver(support::ThreadPool* pool = nullptr, ResultCache* cache = nullptr)
+      : pool_(pool), cache_(cache) {}
 
   /// Solves every request; `results[i]` corresponds to `requests[i]`.
   /// All solver ids are resolved up front, so an unknown id throws (with
   /// the list of known ids) before any work starts. A solver exception
-  /// aborts the batch and is rethrown.
+  /// mid-batch does NOT abort the fan: the request's result becomes
+  /// Status::kError with the message in diagnostics.note, so one bad
+  /// request cannot kill a 10k-request sweep.
   [[nodiscard]] std::vector<SolveResult> solve_all(
       const std::vector<SolveRequest>& requests) const;
 
@@ -49,6 +62,7 @@ class BatchSolver {
 
  private:
   support::ThreadPool* pool_;
+  ResultCache* cache_;
 };
 
 }  // namespace mf::solve

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "solve/cache.hpp"
 #include "solve/registry.hpp"
 
 namespace mf::solve {
@@ -16,6 +17,20 @@ std::string to_string(Status status) {
       return "infeasible";
     case Status::kBudgetExhausted:
       return "budget-exhausted";
+    case Status::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string to_string(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kOff:
+      return "off";
+    case CachePolicy::kRead:
+      return "read";
+    case CachePolicy::kReadWrite:
+      return "read-write";
   }
   return "?";
 }
@@ -40,7 +55,7 @@ SolveResult run(const core::Problem& problem, const std::string& solver_id,
                 const SolveParams& params) {
   const auto solver =
       SolverRegistry::instance().resolve(effective_solver_id(solver_id, params));
-  return timed_solve(*solver, problem, params);
+  return cached_solve(*solver, problem, params, ResultCache::global());
 }
 
 }  // namespace mf::solve

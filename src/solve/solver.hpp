@@ -29,9 +29,25 @@ enum class Status {
   kInfeasible,       ///< no mapping exists (p > m) or solver inapplicable
   kBudgetExhausted,  ///< node/time budget ran out before a proof; a best
                      ///< incumbent may still be attached
+  kError,            ///< the solver threw; diagnostics.note carries the
+                     ///< message. Produced by BatchSolver, which converts
+                     ///< per-request exceptions so one bad request cannot
+                     ///< kill a 10k-request sweep (run() still propagates).
 };
 
 [[nodiscard]] std::string to_string(Status status);
+
+/// How a solve interacts with the process-wide `ResultCache`
+/// (solve/cache.hpp). The cache key is (problem digest, effective solver
+/// id, canonicalized params), so a hit is guaranteed to be the result the
+/// solver would recompute.
+enum class CachePolicy {
+  kOff,        ///< never touch the cache (the default)
+  kRead,       ///< serve hits, but never store fresh results
+  kReadWrite,  ///< serve hits and store fresh results
+};
+
+[[nodiscard]] std::string to_string(CachePolicy policy);
 
 /// Uniform parameter bag. Every solver reads the subset it understands and
 /// ignores the rest, so one bag can drive a heterogeneous batch.
@@ -55,6 +71,11 @@ struct SolveParams {
   /// 0 means unlimited. Solvers do not interrupt mid-search; use
   /// `max_nodes` to bound the search itself.
   double time_limit_ms = 0.0;
+  /// Result-cache interaction for this solve; `run()` and `BatchSolver`
+  /// consult the process-wide cache when it is not kOff. The policy itself
+  /// is execution advice, not problem content — it is never part of the
+  /// cache key.
+  CachePolicy cache = CachePolicy::kOff;
 };
 
 struct SolveResult {
@@ -73,6 +94,7 @@ struct SolveResult {
     double refiner_improvement_ms = 0.0;  ///< period reduction from "+ls"
     std::size_t refiner_moves = 0;        ///< moves the refiner applied
     bool refiner_converged = false;  ///< refiner hit a local optimum (vs pass budget)
+    bool cache_hit = false;  ///< result was served from the ResultCache, not re-solved
     std::string note;                  ///< human-readable detail (why infeasible, ...)
   };
   Diagnostics diagnostics;
@@ -111,7 +133,8 @@ class Solver {
 
 /// The facade: resolves `solver_id` in the global `SolverRegistry`
 /// (composites like "H4w+ls" included; `params.local_search` appends the
-/// refinement stage for you), solves, and times it. Throws
+/// refinement stage for you), solves, and times it. Honours `params.cache`
+/// against the process-wide result cache (solve/cache.hpp). Throws
 /// std::invalid_argument listing the known ids when the id is unknown.
 [[nodiscard]] SolveResult run(const core::Problem& problem, const std::string& solver_id,
                               const SolveParams& params = {});

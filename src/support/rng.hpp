@@ -11,10 +11,29 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 #include "support/check.hpp"
 
 namespace mf::support {
+
+/// FNV-1a 64-bit parameters (the reference offset basis and prime).
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x00000100000001B3ULL;
+
+/// FNV-1a 64-bit hash over bytes. Unlike std::hash<std::string> — whose
+/// value is implementation-defined and differs across standard libraries —
+/// this is pinned by the FNV specification, so seeds derived from names
+/// (e.g. a sweep method's column label) are identical on every platform.
+/// Pass a previous result as `state` to hash incrementally.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                              std::uint64_t state = kFnv1aOffsetBasis) noexcept {
+  for (const char c : bytes) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
 
 /// SplitMix64 step: used both as a standalone mixing function (stable
 /// hashing of seed material) and to expand a single seed into the 256-bit

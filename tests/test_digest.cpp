@@ -1,0 +1,147 @@
+// Tests for the stable problem digest: equal content means equal digest
+// regardless of how the problem was constructed, any mutated cell changes
+// it, and the underlying FNV-1a string hash matches the published vectors
+// (the cross-platform guarantee std::hash cannot give).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/digest.hpp"
+#include "core/io.hpp"
+#include "exp/scenario.hpp"
+#include "support/matrix.hpp"
+#include "support/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace mf::core {
+namespace {
+
+Problem sample_problem(std::uint64_t seed = 42) {
+  exp::Scenario scenario;
+  scenario.tasks = 6;
+  scenario.machines = 4;
+  scenario.types = 2;
+  return exp::generate(scenario, seed);
+}
+
+TEST(Fnv1a, MatchesPublishedVectors) {
+  EXPECT_EQ(support::fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(support::fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(support::fnv1a64("foobar"), 0x85944171F73967E8ULL);
+  // Incremental hashing equals one-shot hashing.
+  EXPECT_EQ(support::fnv1a64("bar", support::fnv1a64("foo")), support::fnv1a64("foobar"));
+}
+
+TEST(Digest, DeterministicForIdenticalContent) {
+  EXPECT_EQ(digest(sample_problem()), digest(sample_problem()));
+  EXPECT_NE(digest(sample_problem(1)), digest(sample_problem(2)));
+}
+
+TEST(Digest, IndependentOfConstructionPath) {
+  // Same content through three different construction paths: row-replicated
+  // type tables, direct task x machine matrices, and a text round-trip.
+  const Application app = Application::linear_chain({0, 1, 0});
+  support::Matrix type_times(2, 2);
+  support::Matrix type_failures(2, 2);
+  type_times.at(0, 0) = 100.0;
+  type_times.at(0, 1) = 200.0;
+  type_times.at(1, 0) = 300.0;
+  type_times.at(1, 1) = 400.0;
+  type_failures.at(0, 0) = 0.01;
+  type_failures.at(0, 1) = 0.02;
+  type_failures.at(1, 0) = 0.03;
+  type_failures.at(1, 1) = 0.04;
+  const Problem via_types{Application::linear_chain({0, 1, 0}),
+                          Platform::from_type_tables(app, type_times, type_failures)};
+
+  support::Matrix times(3, 2);
+  support::Matrix failures(3, 2);
+  for (std::size_t u = 0; u < 2; ++u) {
+    times.at(0, u) = type_times.at(0, u);
+    times.at(1, u) = type_times.at(1, u);
+    times.at(2, u) = type_times.at(0, u);
+    failures.at(0, u) = type_failures.at(0, u);
+    failures.at(1, u) = type_failures.at(1, u);
+    failures.at(2, u) = type_failures.at(0, u);
+  }
+  const Problem direct{Application::linear_chain({0, 1, 0}),
+                       Platform(std::move(times), std::move(failures))};
+
+  EXPECT_EQ(digest(via_types), digest(direct));
+  EXPECT_EQ(digest(problem_from_text(to_text(direct))), digest(direct));
+}
+
+TEST(Digest, AnyMutatedTimeOrFailureCellChangesIt) {
+  const Problem base = sample_problem();
+  const Digest reference = digest(base);
+  const std::size_t n = base.task_count();
+  const std::size_t m = base.machine_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t u = 0; u < m; ++u) {
+      {
+        support::Matrix times(n, m);
+        support::Matrix failures(n, m);
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t c = 0; c < m; ++c) {
+            times.at(r, c) = base.platform.time(r, c);
+            failures.at(r, c) = base.platform.failure(r, c);
+          }
+        }
+        times.at(i, u) += 1.0;
+        const Problem mutated{base.app, Platform(std::move(times), std::move(failures))};
+        EXPECT_NE(digest(mutated), reference) << "time cell (" << i << "," << u << ")";
+      }
+      {
+        support::Matrix times(n, m);
+        support::Matrix failures(n, m);
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t c = 0; c < m; ++c) {
+            times.at(r, c) = base.platform.time(r, c);
+            failures.at(r, c) = base.platform.failure(r, c);
+          }
+        }
+        failures.at(i, u) = failures.at(i, u) < 0.5 ? failures.at(i, u) + 0.1 : 0.0;
+        const Problem mutated{base.app, Platform(std::move(times), std::move(failures))};
+        EXPECT_NE(digest(mutated), reference) << "failure cell (" << i << "," << u << ")";
+      }
+    }
+  }
+}
+
+TEST(Digest, TypeAndGraphChangesChangeIt) {
+  const Problem chain = test::uniform_problem({0, 1, 0, 1}, 4);
+  const Problem retyped = test::uniform_problem({0, 1, 1, 0}, 4);
+  EXPECT_NE(digest(chain), digest(retyped));
+
+  // Same types and matrices, different dependency shape: the 4-chain vs the
+  // in-tree where T0 and T1 both feed T2.
+  const Problem tree{
+      Application::from_successors({0, 1, 0, 1}, {2, 2, 3, kNoTask}),
+      Platform(support::Matrix(4, 4, 100.0), support::Matrix(4, 4, 0.0))};
+  const Problem straight{
+      Application::linear_chain({0, 1, 0, 1}),
+      Platform(support::Matrix(4, 4, 100.0), support::Matrix(4, 4, 0.0))};
+  EXPECT_NE(digest(tree), digest(straight));
+}
+
+TEST(Digest, DimensionsAreNotConfusable) {
+  // 2x3 and 3x2 uniform platforms have identical byte content cell-wise;
+  // the dimension header must still separate them.
+  const Problem wide{Application::linear_chain({0, 0}),
+                     Platform(support::Matrix(2, 3, 5.0), support::Matrix(2, 3, 0.0))};
+  const Problem tall{Application::linear_chain({0, 0, 0}),
+                     Platform(support::Matrix(3, 2, 5.0), support::Matrix(3, 2, 0.0))};
+  EXPECT_NE(digest(wide), digest(tall));
+}
+
+TEST(Digest, ToStringIs32HexChars) {
+  const std::string hex = to_string(digest(sample_problem()));
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+  EXPECT_EQ(hex, to_string(digest(sample_problem())));
+}
+
+}  // namespace
+}  // namespace mf::core

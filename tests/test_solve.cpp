@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "core/evaluation.hpp"
 #include "exp/method.hpp"
@@ -259,6 +260,44 @@ TEST(Batch, IdenticalSeedsStillGetIndependentStreams) {
   EXPECT_NE(*results[0].mapping, *results[1].mapping);
 }
 
+TEST(Batch, SolverExceptionBecomesPerRequestErrorResult) {
+  auto& registry = SolverRegistry::instance();
+  if (!registry.contains("throws")) {
+    registry.register_solver(make_function_solver(
+        "throws", "test solver that always throws",
+        [](const core::Problem&, const SolveParams&) -> SolveResult {
+          throw std::runtime_error("deliberate kaboom");
+        }));
+  }
+  const auto problem = std::make_shared<const core::Problem>(medium_problem());
+  std::vector<SolveRequest> requests = mixed_requests(problem);
+  SolveRequest bad;
+  bad.problem = problem;
+  bad.solver_id = "throws";
+  requests.insert(requests.begin() + 2, bad);
+
+  // One bad request must not kill the batch — serial or pooled.
+  support::ThreadPool pool(4);
+  for (support::ThreadPool* p : {static_cast<support::ThreadPool*>(nullptr), &pool}) {
+    const std::vector<SolveResult> results = BatchSolver(p).solve_all(requests);
+    ASSERT_EQ(results.size(), requests.size());
+    EXPECT_EQ(results[2].status, Status::kError);
+    EXPECT_FALSE(results[2].has_mapping());
+    EXPECT_FALSE(results[2].ok());
+    EXPECT_EQ(results[2].diagnostics.solver_id, "throws");
+    EXPECT_NE(results[2].diagnostics.note.find("deliberate kaboom"), std::string::npos);
+    // Every other request completes normally ("oto" is legitimately
+    // infeasible on this machine-dependent instance — but not an error).
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i == 2) continue;
+      EXPECT_NE(results[i].status, Status::kError) << i;
+    }
+  }
+
+  // The single-solve facade still propagates, as its contract says.
+  EXPECT_THROW((void)run(*problem, "throws"), std::runtime_error);
+}
+
 TEST(Batch, UnknownSolverFailsTheBatchUpFront) {
   const auto problem = std::make_shared<const core::Problem>(medium_problem());
   std::vector<SolveRequest> requests = mixed_requests(problem);
@@ -300,6 +339,10 @@ TEST(Status, ToStringCoversAllValues) {
   EXPECT_EQ(to_string(Status::kFeasible), "feasible");
   EXPECT_EQ(to_string(Status::kInfeasible), "infeasible");
   EXPECT_EQ(to_string(Status::kBudgetExhausted), "budget-exhausted");
+  EXPECT_EQ(to_string(Status::kError), "error");
+  EXPECT_EQ(to_string(CachePolicy::kOff), "off");
+  EXPECT_EQ(to_string(CachePolicy::kRead), "read");
+  EXPECT_EQ(to_string(CachePolicy::kReadWrite), "read-write");
 }
 
 }  // namespace
