@@ -7,9 +7,9 @@
 //
 //   mfsched <problem-file> [--method ID] [--refine] [--simulate N]
 //           [--budget NODES] [--out mapping-file] [--seed S] [--cache MODE]
-//   mfsched --list
-//   mfsched --figure NAME [--scale K] [--cache MODE] [--repeat R]
-//           [--shard i/N [--out shard-file]]
+//   mfsched --list | --list-scenarios
+//   mfsched --figure NAME [--scenario ID] [--scale K] [--cache MODE]
+//           [--repeat R] [--shard i/N [--out shard-file]]
 //   mfsched --merge <shard-file>...
 //
 // `--method` accepts every registered solver id (try `--list`): the paper
@@ -17,12 +17,16 @@
 // solver oto, and "+ls" composites such as H4w+ls. `exact` stays as an
 // alias for bnb. `--refine` is shorthand for appending "+ls".
 //
-// `--figure` runs one paper sweep (fig05..fig12) through the one execution
-// engine. `--shard i/N` evaluates only shard i's deterministic slice of the
-// (point, trial) pairs and writes a shard file; `--merge` recombines one
-// file per shard into the complete result — bit-identical to the unsharded
-// run. `--cache off|read|rw` sets the result-cache policy; with rw, a
-// `--repeat`ed sweep re-solves nothing (the printed hit counters prove it).
+// `--figure` runs one sweep (the paper's fig05..fig12 plus the per-model
+// scn-* sweeps) through the one execution engine. `--scenario` swaps the
+// failure regime instances are drawn under (try `--list-scenarios`):
+// solvers plan against the model's effective rates and the table reports
+// model-adjusted analytic periods. `--shard i/N` evaluates only shard i's
+// deterministic slice of the (point, trial) pairs and writes a shard file;
+// `--merge` recombines one file per shard into the complete result —
+// bit-identical to the unsharded run. `--cache off|read|rw` sets the
+// result-cache policy; with rw, a `--repeat`ed sweep re-solves nothing
+// (the printed hit counters prove it).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +40,7 @@
 #include "exp/figures.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "exp/scenario_registry.hpp"
 #include "exp/sweep_io.hpp"
 #include "sim/simulator.hpp"
 #include "solve/cache.hpp"
@@ -50,18 +55,20 @@ int usage(const char* program) {
   std::printf(
       "usage: %s <problem-file> [--method ID] [--refine] [--simulate N]\n"
       "          [--budget NODES] [--out FILE] [--seed S] [--cache off|read|rw]\n"
-      "       %s --list\n"
+      "       %s --list | --list-scenarios\n"
       "       %s --demo [--tasks N --machines M --types P --seed S]\n"
-      "       %s --figure NAME [--scale K] [--cache MODE] [--repeat R]\n"
-      "          [--shard i/N [--out shard-file]]\n"
+      "       %s --figure NAME [--scenario ID] [--scale K] [--cache MODE]\n"
+      "          [--repeat R] [--shard i/N [--out shard-file]]\n"
       "       %s --merge <shard-file>...\n"
-      "--list    prints every registered solver id\n"
-      "--demo    writes demo_problem.txt instead of scheduling\n"
-      "--figure  runs a paper sweep (%s)\n"
-      "--shard   runs only slice i of N and writes a shard file for --merge\n"
-      "--merge   recombines shard files into the full sweep table\n",
+      "--list            prints every registered solver id\n"
+      "--list-scenarios  prints every registered failure-model scenario id\n"
+      "--demo            writes demo_problem.txt instead of scheduling\n"
+      "--figure          runs a figure sweep (%s)\n"
+      "--scenario        draws the sweep's instances under this failure model (%s)\n"
+      "--shard           runs only slice i of N and writes a shard file for --merge\n"
+      "--merge           recombines shard files into the full sweep table\n",
       program, program, program, program, program,
-      mf::exp::figure_spec_names().c_str());
+      mf::exp::figure_spec_names().c_str(), mf::exp::scenario_ids().c_str());
   return 2;
 }
 
@@ -70,6 +77,15 @@ int list_solvers() {
   std::printf("registered solvers (append \"+ls\" for local-search refinement):\n");
   for (const std::string& id : registry.ids()) {
     std::printf("  %-6s %s\n", id.c_str(), registry.resolve(id)->description().c_str());
+  }
+  return 0;
+}
+
+int list_scenarios() {
+  const auto& registry = mf::exp::ScenarioRegistry::instance();
+  std::printf("registered failure-model scenarios (use with --figure NAME --scenario ID):\n");
+  for (const std::string& id : registry.ids()) {
+    std::printf("  %-13s %s\n", id.c_str(), registry.resolve(id)->description().c_str());
   }
   return 0;
 }
@@ -123,6 +139,17 @@ int run_figure(const mf::support::CliArgs& args) {
   if (args.has("seed")) {
     spec.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   }
+  // --scenario re-draws the figure's instances under another failure model;
+  // all shards of one campaign must share the id (merge() enforces it).
+  if (args.has("scenario")) {
+    const std::string scenario = args.get("scenario", "");
+    if (!mf::exp::ScenarioRegistry::instance().contains(scenario)) {
+      std::fprintf(stderr, "error: unknown scenario '%s' (%s)\n", scenario.c_str(),
+                   mf::exp::scenario_ids().c_str());
+      return 2;
+    }
+    spec.scenario_id = scenario;
+  }
 
   mf::exp::SweepOptions options;
   options.cache = parse_cache_flag(args);
@@ -140,9 +167,10 @@ int run_figure(const mf::support::CliArgs& args) {
 
   mf::support::ThreadPool pool;
   std::printf("=== %s: %s ===\n", spec.name.c_str(), spec.description.c_str());
-  std::printf("scenario: %s; sweep over %s; %zu trials/point; cache %s\n",
-              spec.base.describe().c_str(), mf::exp::to_string(spec.variable).c_str(),
-              spec.trials, mf::solve::to_string(options.cache).c_str());
+  std::printf("scenario: %s; failure model '%s'; sweep over %s; %zu trials/point; cache %s\n",
+              spec.base.describe().c_str(), spec.scenario_id.c_str(),
+              mf::exp::to_string(spec.variable).c_str(), spec.trials,
+              mf::solve::to_string(options.cache).c_str());
 
   if (options.shard.is_sharded()) {
     if (args.get_int("repeat", 1) != 1) {
@@ -230,6 +258,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
   if (args.has("list")) return list_solvers();
+  if (args.has("list-scenarios")) return list_scenarios();
   if (args.has("figure")) return run_figure(args);
   if (args.has("merge")) return run_merge(args);
 

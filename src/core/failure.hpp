@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "support/check.hpp"
 
@@ -30,7 +31,7 @@ struct FailureRatio {
 /// consumed) per successful product for a task with failure rate f.
 /// Returns +infinity when f >= 1 (the task can never succeed).
 [[nodiscard]] constexpr double survival_inverse(double failure_rate) {
-  if (failure_rate >= 1.0) return __builtin_huge_val();
+  if (failure_rate >= 1.0) return std::numeric_limits<double>::infinity();
   MF_REQUIRE(failure_rate >= 0.0, "failure rate must be non-negative");
   return 1.0 / (1.0 - failure_rate);
 }

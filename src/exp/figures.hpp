@@ -9,6 +9,10 @@
 //   fig12: m=9,   p=4, n=4..20,   H2 H3 H4 H4w + exact          (Figure 12)
 // Figure 11 is Figure 10 normalized to the exact optimum and is derived
 // from fig10's result via SweepResult::mean_ratio_to / ratio tables.
+//
+// Beyond the paper, one figure-style sweep per non-iid failure model
+// (scenario_registry.hpp) reuses Figure 6's geometry:
+//   scn-correlated / scn-time-varying / scn-downtime
 #pragma once
 
 #include <optional>
@@ -31,7 +35,17 @@ inline constexpr std::uint64_t kFigureExactNodeBudget = 5'000'000;
 [[nodiscard]] SweepSpec figure10_spec();
 [[nodiscard]] SweepSpec figure12_spec();
 
-/// All figure sweeps in paper order (Figure 11 derives from Figure 10).
+/// Figure-style sweeps beyond the paper: Figure 6's geometry (m=10, p=2,
+/// n=10..100, the four strong heuristics) re-run under each non-iid failure
+/// model of the scenario registry. Named "scn-<scenario id>"; any other
+/// (figure, scenario) pairing is reachable via `mfsched --figure NAME
+/// --scenario ID`, which overrides the spec's scenario id.
+[[nodiscard]] SweepSpec scenario_correlated_spec();
+[[nodiscard]] SweepSpec scenario_time_varying_spec();
+[[nodiscard]] SweepSpec scenario_downtime_spec();
+
+/// All figure sweeps: paper order (Figure 11 derives from Figure 10), then
+/// the per-model scenario sweeps.
 [[nodiscard]] std::vector<SweepSpec> all_figure_specs();
 
 /// Lookup by spec name ("fig05".."fig12"); nullopt when unknown. The

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/evaluation.hpp"
+#include "exp/scenario_registry.hpp"
 #include "solve/batch.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -75,14 +76,15 @@ std::vector<TrialOutcome> evaluate_trials(const SweepSpec& spec, const Scenario&
                                           const SweepOptions& options,
                                           support::ThreadPool* pool) {
   const std::size_t method_count = spec.methods.size();
+  const std::shared_ptr<const ScenarioGenerator> generator =
+      ScenarioRegistry::instance().resolve(spec.scenario_id);
 
   // Instance generation is deterministic in (scenario, seed), so it fans
   // out over the pool like the solves do — a serial generation prefix
   // would cap the speedup of sweeps with cheap solvers (Amdahl).
-  std::vector<std::shared_ptr<const core::Problem>> problems(trials.size());
+  std::vector<Instance> instances(trials.size());
   const auto generate_trial = [&](std::size_t t) {
-    problems[t] = std::make_shared<const core::Problem>(
-        generate(scenario, trial_seed(spec, point_index, trials[t])));
+    instances[t] = generator->generate(scenario, trial_seed(spec, point_index, trials[t]));
   };
   if (pool != nullptr) {
     support::parallel_for(*pool, trials.size(), generate_trial);
@@ -95,14 +97,17 @@ std::vector<TrialOutcome> evaluate_trials(const SweepSpec& spec, const Scenario&
   for (std::size_t t = 0; t < trials.size(); ++t) {
     const std::size_t trial = trials[t];
     const std::uint64_t seed = trial_seed(spec, point_index, trial);
-    const std::shared_ptr<const core::Problem>& problem = problems[t];
     for (const Method& method : spec.methods) {
       solve::SolveRequest request;
-      request.problem = problem;
+      // Solvers consume the model's effective problem — the heuristics'
+      // binary-search ceilings, the MIP big-M and the evaluator all see the
+      // effective rates/times, never the raw base matrices.
+      request.problem = instances[t].effective;
       request.solver_id = method.solver_id;
       request.params = method.params;
       request.params.seed = method_seed(seed, method);
       request.params.cache = options.cache;
+      request.params.scenario = spec.scenario_id;
       request.derive_stream_seed = false;  // seeds above are already final
       requests.push_back(std::move(request));
     }
@@ -113,6 +118,7 @@ std::vector<TrialOutcome> evaluate_trials(const SweepSpec& spec, const Scenario&
 
   std::vector<TrialOutcome> outcomes(trials.size());
   for (std::size_t t = 0; t < trials.size(); ++t) {
+    const Instance& instance = instances[t];
     TrialOutcome& outcome = outcomes[t];
     outcome.success = true;
     outcome.periods.reserve(method_count);
@@ -123,7 +129,14 @@ std::vector<TrialOutcome> evaluate_trials(const SweepSpec& spec, const Scenario&
         outcome.periods.clear();
         break;
       }
-      outcome.periods.push_back(result.period);
+      // The solver reports the effective-problem period, which for
+      // time-dependent models is the conservative worst-window value; the
+      // figure records the model's analytic period of the mapping instead.
+      outcome.periods.push_back(
+          instance.model_is_identity()
+              ? result.period
+              : instance.model->period(*instance.problem, *instance.effective,
+                                       *result.mapping));
     }
   }
   return outcomes;
@@ -164,6 +177,9 @@ void validate_spec(const SweepSpec& spec) {
   MF_REQUIRE(!spec.methods.empty(), "sweep needs at least one method");
   MF_REQUIRE(!spec.values.empty(), "sweep needs at least one point");
   MF_REQUIRE(spec.max_trials >= spec.trials, "max_trials must cover trials");
+  // Unknown scenario ids fail the whole sweep up front (with the list of
+  // registered ids) instead of mid-flight in a pool thread.
+  (void)ScenarioRegistry::instance().resolve(spec.scenario_id);
 }
 
 /// One complete (unsharded) point: draw `trials` instances, then — while
@@ -323,6 +339,7 @@ SweepResult merge(std::vector<SweepResult> shards) {
                    shard.spec.max_trials == spec.max_trials &&
                    shard.spec.base_seed == spec.base_seed,
                "shard sweep specs disagree");
+    MF_REQUIRE(shard.spec.scenario_id == spec.scenario_id, "shard scenario ids disagree");
     // The scenario defines the experiment: a stale shard regenerated after
     // a spec edit would otherwise merge silently into a mixed table.
     const Scenario& base = shard.spec.base;
@@ -335,6 +352,17 @@ SweepResult merge(std::vector<SweepResult> shards) {
                    base.failure_attachment == spec.base.failure_attachment &&
                    base.integer_times == spec.base.integer_times,
                "shard base scenarios disagree");
+    // Model parameters are part of the experiment identity too — two shards
+    // generated under different shock ranges or window factors must not mix.
+    MF_REQUIRE(base.shock_min == spec.base.shock_min &&
+                   base.shock_max == spec.base.shock_max &&
+                   base.window_count == spec.base.window_count &&
+                   base.window_ms == spec.base.window_ms &&
+                   base.factor_min == spec.base.factor_min &&
+                   base.factor_max == spec.base.factor_max &&
+                   base.mean_uptime_ms == spec.base.mean_uptime_ms &&
+                   base.mean_repair_ms == spec.base.mean_repair_ms,
+               "shard model parameters disagree");
     MF_REQUIRE(shard.spec.methods.size() == spec.methods.size(),
                "shard method lists disagree");
     for (std::size_t k = 0; k < spec.methods.size(); ++k) {

@@ -38,6 +38,29 @@ struct Scenario {
   /// Draw integer processing times (the paper's ms granularity).
   bool integer_times = true;
 
+  // --- Failure-model parameters (scenario_registry.hpp) ---------------------
+  // Consumed only by the named generator whose model they parameterize; the
+  // "iid" generator ignores all of them, so default scenarios stay
+  // bit-identical to the pre-registry behavior.
+
+  /// "correlated": machine shock s_u ~ U[shock_min, shock_max] per machine.
+  double shock_min = 0.005;
+  double shock_max = 0.05;
+
+  /// "time-varying": one cycle of `window_count` piecewise-constant rate
+  /// windows, each `window_ms` long; per-window factor ~ U[factor_min,
+  /// factor_max] multiplies every base rate during that window.
+  std::size_t window_count = 4;
+  double window_ms = 20'000.0;
+  double factor_min = 0.25;
+  double factor_max = 2.5;
+
+  /// "downtime": per-machine mean up/repair phase durations drawn uniformly
+  /// in [0.5, 1.5] x the scenario mean (so machines differ but the
+  /// scenario pins the fleet average).
+  double mean_uptime_ms = 50'000.0;
+  double mean_repair_ms = 2'000.0;
+
   [[nodiscard]] std::string describe() const;
 };
 

@@ -11,7 +11,7 @@ namespace mf::exp {
 
 namespace {
 
-constexpr const char* kHeader = "microfactory-sweep-shard v1";
+constexpr const char* kHeader = "microfactory-sweep-shard v2";
 
 std::string variable_token(SweepVariable variable) {
   switch (variable) {
@@ -92,12 +92,20 @@ std::string to_text(const SweepResult& result) {
   out << "\n";
   out << "protocol " << spec.trials << ' ' << spec.max_trials << ' ' << spec.base_seed
       << "\n";
+  MF_REQUIRE(!spec.scenario_id.empty() &&
+                 spec.scenario_id.find(' ') == std::string::npos,
+             "scenario ids must be non-empty and space-free");
+  out << "scenario-id " << spec.scenario_id << "\n";
   const Scenario& base = spec.base;
   out << "scenario " << base.tasks << ' ' << base.machines << ' ' << base.types << ' '
       << hex_double(base.time_min_ms) << ' ' << hex_double(base.time_max_ms) << ' '
       << hex_double(base.failure_min) << ' ' << hex_double(base.failure_max) << ' '
       << (base.failure_attachment == FailureAttachment::kTaskOnly ? "task" : "type-machine")
       << ' ' << (base.integer_times ? 1 : 0) << "\n";
+  out << "model " << hex_double(base.shock_min) << ' ' << hex_double(base.shock_max) << ' '
+      << base.window_count << ' ' << hex_double(base.window_ms) << ' '
+      << hex_double(base.factor_min) << ' ' << hex_double(base.factor_max) << ' '
+      << hex_double(base.mean_uptime_ms) << ' ' << hex_double(base.mean_repair_ms) << "\n";
   out << "shard " << result.shard.index << ' ' << result.shard.count << "\n";
   out << "methods " << spec.methods.size() << "\n";
   for (const Method& method : spec.methods) {
@@ -160,6 +168,11 @@ SweepResult sweep_shard_from_text(const std::string& text) {
                "line " + std::to_string(line_number) + ": bad protocol line");
   }
   {
+    auto fields = expect_line(in, "scenario-id", line_number);
+    MF_REQUIRE(static_cast<bool>(fields >> spec.scenario_id),
+               "line " + std::to_string(line_number) + ": bad scenario-id line");
+  }
+  {
     auto fields = expect_line(in, "scenario", line_number);
     std::string time_min, time_max, failure_min, failure_max, attachment;
     int integer_times = 0;
@@ -174,6 +187,20 @@ SweepResult sweep_shard_from_text(const std::string& text) {
     spec.base.failure_attachment = attachment == "task" ? FailureAttachment::kTaskOnly
                                                         : FailureAttachment::kTypeMachine;
     spec.base.integer_times = integer_times != 0;
+  }
+  {
+    auto fields = expect_line(in, "model", line_number);
+    std::string shock_min, shock_max, window_ms, factor_min, factor_max, uptime, repair;
+    MF_REQUIRE(static_cast<bool>(fields >> shock_min >> shock_max >> spec.base.window_count >>
+                                 window_ms >> factor_min >> factor_max >> uptime >> repair),
+               "line " + std::to_string(line_number) + ": bad model line");
+    spec.base.shock_min = parse_double(shock_min, line_number);
+    spec.base.shock_max = parse_double(shock_max, line_number);
+    spec.base.window_ms = parse_double(window_ms, line_number);
+    spec.base.factor_min = parse_double(factor_min, line_number);
+    spec.base.factor_max = parse_double(factor_max, line_number);
+    spec.base.mean_uptime_ms = parse_double(uptime, line_number);
+    spec.base.mean_repair_ms = parse_double(repair, line_number);
   }
   {
     auto fields = expect_line(in, "shard", line_number);

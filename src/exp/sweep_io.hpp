@@ -8,14 +8,17 @@
 // bit-identical to the unsharded run, so decimal shortening is not an
 // option.
 //
-//   microfactory-sweep-shard v1
+//   microfactory-sweep-shard v2
 //   name fig10
 //   description <free text to end of line>
 //   variable tasks                      # tasks | types | machines
 //   values <v_0> ... <v_{k-1}>
 //   protocol <trials> <max_trials> <base_seed>
+//   scenario-id <registry id, e.g. iid>
 //   scenario <tasks> <machines> <types> <time_min> <time_max>
 //            <failure_min> <failure_max> <attachment> <integer_times>
+//   model <shock_min> <shock_max> <window_count> <window_ms>
+//         <factor_min> <factor_max> <mean_uptime_ms> <mean_repair_ms>
 //   shard <index> <count>
 //   methods <count>
 //   method <require_proof> <solver_id> <display name to end of line>  # xK

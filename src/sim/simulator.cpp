@@ -122,15 +122,26 @@ SimulationReport Simulator::run(const SimulationConfig& config, const TraceHook&
   double now = 0.0;
   double warmup_end_time = 0.0;
 
-  // Transient machine downtime (disabled when mean_uptime_ms == 0): each
-  // machine carries the time of its next breakdown; crossing it while idle
-  // triggers a repair phase.
-  const bool downtime_enabled = config.mean_uptime_ms > 0.0;
-  std::vector<double> next_breakdown(m, std::numeric_limits<double>::infinity());
-  if (downtime_enabled) {
+  // Transient machine downtime: each machine carries the time of its next
+  // breakdown; crossing it while idle triggers a repair phase. Phase means
+  // come from the failure model when it covers the machine, falling back to
+  // the config's global pair; a mean uptime of 0 disables downtime for that
+  // machine (next_breakdown stays at infinity).
+  const core::FailureModel* model = config.failure_model;
+  std::vector<double> mean_uptime(m, config.mean_uptime_ms);
+  std::vector<double> mean_repair(m, config.mean_repair_ms);
+  if (model != nullptr) {
     for (MachineIndex u = 0; u < m; ++u) {
-      next_breakdown[u] = rng.exponential(config.mean_uptime_ms);
+      const core::FailureModel::MachineDowntime phases = model->downtime(u);
+      if (phases.mean_uptime_ms > 0.0) {
+        mean_uptime[u] = phases.mean_uptime_ms;
+        mean_repair[u] = phases.mean_repair_ms;
+      }
     }
+  }
+  std::vector<double> next_breakdown(m, std::numeric_limits<double>::infinity());
+  for (MachineIndex u = 0; u < m; ++u) {
+    if (mean_uptime[u] > 0.0) next_breakdown[u] = rng.exponential(mean_uptime[u]);
   }
 
   // Machines whose blocked producers may have been released by a buffer
@@ -143,11 +154,11 @@ SimulationReport Simulator::run(const SimulationConfig& config, const TraceHook&
   // WIP cap).
   auto try_start_one = [&](MachineIndex u) {
     if (machine_busy[u] || machine_down[u]) return;
-    if (downtime_enabled && now >= next_breakdown[u]) {
-      const double repair = rng.exponential(config.mean_repair_ms);
+    if (now >= next_breakdown[u]) {
+      const double repair = rng.exponential(mean_repair[u]);
       machine_down[u] = true;
       report.machine_down_time[u] += repair;
-      next_breakdown[u] = now + repair + rng.exponential(config.mean_uptime_ms);
+      next_breakdown[u] = now + repair + rng.exponential(mean_uptime[u]);
       events.push(now + repair, {u, kNoTask});
       return;
     }
@@ -198,7 +209,14 @@ SimulationReport Simulator::run(const SimulationConfig& config, const TraceHook&
     }
     machine_busy[u] = false;
 
-    if (rng.bernoulli(problem.platform.failure(i, u))) {
+    // The loss draw samples the failure model at the attempt's *start* time
+    // (completion minus duration) — for time-varying models the window that
+    // was active when processing began is the one that applies.
+    const double loss_probability =
+        model != nullptr
+            ? model->loss_probability(problem, i, u, now - problem.platform.time(i, u))
+            : problem.platform.failure(i, u);
+    if (rng.bernoulli(loss_probability)) {
       ++report.per_task[i].losses;
       if (trace) trace({TraceEvent::Kind::kLoss, now, i, u});
     } else {

@@ -14,6 +14,13 @@
 // The measured steady-state period converges to the analytic one (the
 // property tests check this), and per-task attempt counts divided by
 // finished products converge to the x_i of Section 4.1.
+//
+// Loss draws default to the base f_{i,u}; setting
+// `SimulationConfig::failure_model` samples any `core::FailureModel`
+// instead — time-varying rates are evaluated at each attempt's start time,
+// and availability models drive per-machine up/down phases — so every
+// model's analytic reduction (worst-window planning, availability-inflated
+// times) is validated against an empirical Monte-Carlo period.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "core/evaluation.hpp"
+#include "core/failure_model.hpp"
 #include "core/mapping.hpp"
 #include "core/platform.hpp"
 #include "support/rng.hpp"
@@ -50,6 +58,15 @@ struct SimulationConfig {
   /// downtime stalls the line without destroying products.
   double mean_uptime_ms = 0.0;  ///< 0 disables downtime
   double mean_repair_ms = 0.0;
+
+  /// Failure model to *sample* instead of the problem's base rates: each
+  /// attempt's loss draw uses `loss_probability(problem, i, u, start_time)`
+  /// and machines take the model's per-machine up/repair phases (which
+  /// override the two global fields above for machines the model covers).
+  /// Null keeps the base-rate behavior, bit-identical to pre-model builds.
+  /// The caller owns the model and must keep it alive across `run()` —
+  /// scenario-registry instances hold it in a shared_ptr.
+  const core::FailureModel* failure_model = nullptr;
 
   /// Work-in-progress cap per dependency edge (0 = unbounded). A task may
   /// only start when its successor's buffer for it holds fewer than this

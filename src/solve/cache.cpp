@@ -30,6 +30,7 @@ CacheKey make_cache_key(const core::Digest& problem_digest, const std::string& e
   CacheKey key;
   key.problem = problem_digest;
   key.solver_id = effective_id;
+  key.scenario = params.scenario;
   key.seed = params.seed;
   key.has_max_nodes = params.max_nodes.has_value();
   key.max_nodes = params.max_nodes.value_or(0);
@@ -43,6 +44,7 @@ CacheKey make_cache_key(const core::Digest& problem_digest, const std::string& e
   core::DigestBuilder builder;
   builder.add_u64(key.problem.hi).add_u64(key.problem.lo);
   builder.add_bytes(key.solver_id);
+  builder.add_bytes(key.scenario);
   builder.add_u64(key.seed);
   builder.add_u64(key.has_max_nodes ? key.max_nodes + 1 : 0);
   builder.add_u64(key.time_limit_ms_bits);

@@ -50,6 +50,7 @@ namespace mf::solve {
 struct CacheKey {
   core::Digest problem;
   std::string solver_id;  ///< effective id, e.g. "H4w+ls"
+  std::string scenario;   ///< scenario/model provenance label ("" = direct solve)
   std::uint64_t seed = 0;
   bool has_max_nodes = false;
   std::uint64_t max_nodes = 0;
@@ -67,7 +68,8 @@ struct CacheKey {
 
   [[nodiscard]] bool operator==(const CacheKey& other) const {
     return problem == other.problem && solver_id == other.solver_id &&
-           seed == other.seed && has_max_nodes == other.has_max_nodes &&
+           scenario == other.scenario && seed == other.seed &&
+           has_max_nodes == other.has_max_nodes &&
            max_nodes == other.max_nodes &&
            time_limit_ms_bits == other.time_limit_ms_bits &&
            refine_max_passes == other.refine_max_passes &&

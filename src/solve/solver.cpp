@@ -48,6 +48,7 @@ SolveResult timed_solve(const Solver& solver, const core::Problem& problem,
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
   result.diagnostics.solver_id = solver.id();
+  result.diagnostics.scenario = params.scenario;
   return result;
 }
 

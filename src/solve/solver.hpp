@@ -76,6 +76,12 @@ struct SolveParams {
   /// is execution advice, not problem content — it is never part of the
   /// cache key.
   CachePolicy cache = CachePolicy::kOff;
+  /// Provenance label: the scenario/failure-model id that produced the
+  /// problem (empty for problems built or loaded directly). Stamped into
+  /// `diagnostics.scenario` and folded into the cache key, so sweep logs
+  /// can attribute every cache hit to its failure regime and two regimes
+  /// never share an entry even if their effective matrices coincide.
+  std::string scenario;
 };
 
 struct SolveResult {
@@ -95,6 +101,7 @@ struct SolveResult {
     std::size_t refiner_moves = 0;        ///< moves the refiner applied
     bool refiner_converged = false;  ///< refiner hit a local optimum (vs pass budget)
     bool cache_hit = false;  ///< result was served from the ResultCache, not re-solved
+    std::string scenario;  ///< scenario/model id from SolveParams::scenario ("" = direct)
     std::string note;                  ///< human-readable detail (why infeasible, ...)
   };
   Diagnostics diagnostics;

@@ -56,6 +56,44 @@ TEST(CacheKey, DistinguishesUnsetBudgetFromZeroBudget) {
   EXPECT_NE(make_cache_key(d, "bnb", unset), make_cache_key(d, "bnb", zero));
 }
 
+TEST(CacheKey, ScenarioProvenanceIsPartOfTheKey) {
+  // Two failure regimes could in principle produce the same effective
+  // matrices; their results must still never share a cache entry, and sweep
+  // logs must be able to attribute every hit to its regime.
+  const core::Digest d = core::digest(small_problem());
+  SolveParams direct;
+  SolveParams iid;
+  iid.scenario = "iid";
+  SolveParams correlated;
+  correlated.scenario = "correlated";
+  EXPECT_NE(make_cache_key(d, "H2", direct), make_cache_key(d, "H2", iid));
+  EXPECT_NE(make_cache_key(d, "H2", iid), make_cache_key(d, "H2", correlated));
+  EXPECT_EQ(make_cache_key(d, "H2", iid), make_cache_key(d, "H2", iid));
+}
+
+TEST(Cache, ScenarioLabelSeparatesEntriesAndSurfacesInDiagnostics) {
+  ResultCache cache(64);
+  const auto problem = std::make_shared<const core::Problem>(small_problem());
+  const Solver& h2 = *SolverRegistry::instance().find("H2");
+  SolveParams params;
+  params.cache = CachePolicy::kReadWrite;
+  params.scenario = "iid";
+  const SolveResult first = cached_solve(h2, *problem, params, cache);
+  EXPECT_EQ(first.diagnostics.scenario, "iid");
+  EXPECT_FALSE(first.diagnostics.cache_hit);
+  // Same problem, same solver, different provenance: a miss, not a hit.
+  params.scenario = "downtime";
+  const SolveResult other = cached_solve(h2, *problem, params, cache);
+  EXPECT_FALSE(other.diagnostics.cache_hit);
+  EXPECT_EQ(other.diagnostics.scenario, "downtime");
+  // Same provenance again: a hit carrying its regime in the diagnostics.
+  params.scenario = "iid";
+  const SolveResult hit = cached_solve(h2, *problem, params, cache);
+  EXPECT_TRUE(hit.diagnostics.cache_hit);
+  EXPECT_EQ(hit.diagnostics.scenario, "iid");
+  EXPECT_EQ(hit.period, first.period);
+}
+
 TEST(Cache, HitReturnsTheResultTheSolverWouldRecompute) {
   ResultCache cache(64);
   const core::Problem problem = small_problem();

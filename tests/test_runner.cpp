@@ -157,7 +157,15 @@ TEST(Figures, SpecsMatchPaperParameters) {
   EXPECT_EQ(f12.base.machines, 9u);
   EXPECT_EQ(f12.base.types, 4u);
 
-  EXPECT_EQ(all_figure_specs().size(), 7u);
+  // Seven paper figures plus one scenario sweep per non-iid failure model.
+  EXPECT_EQ(all_figure_specs().size(), 10u);
+  for (const SweepSpec& spec : all_figure_specs()) {
+    if (spec.name.starts_with("scn-")) {
+      EXPECT_EQ(spec.name, "scn-" + spec.scenario_id);
+    } else {
+      EXPECT_EQ(spec.scenario_id, "iid") << spec.name;
+    }
+  }
 }
 
 TEST(Figures, ScaledDownReducesTrials) {

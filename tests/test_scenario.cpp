@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "core/digest.hpp"
 #include "core/evaluation.hpp"
 #include "exp/scenario.hpp"
 
@@ -155,6 +156,68 @@ TEST(ScenarioInTree, ZeroJoinProbabilityGivesChain) {
   scenario.types = 2;
   const core::Problem problem = generate_in_tree(scenario, 0.0, 7);
   EXPECT_TRUE(problem.app.is_linear_chain());
+}
+
+TEST(Scenario, GenerateDigestIsPinnedAcrossRefactors) {
+  // Pinned on the pre-registry generator: any refactor of scenario
+  // generation that perturbs a single draw (or the digest serialization)
+  // breaks this, which would silently invalidate every cached figure.
+  Scenario scenario;
+  scenario.tasks = 20;
+  scenario.machines = 8;
+  scenario.types = 3;
+  EXPECT_EQ(core::to_string(core::digest(generate(scenario, 5))),
+            "5c15c6234874a5c0059d13d5fbed3a75");
+}
+
+TEST(ScenarioInTree, DeterministicInScenarioAndSeed) {
+  Scenario scenario;
+  scenario.tasks = 20;
+  scenario.machines = 6;
+  scenario.types = 3;
+  const core::Problem a = generate_in_tree(scenario, 0.3, 7);
+  const core::Problem b = generate_in_tree(scenario, 0.3, 7);
+  EXPECT_EQ(core::digest(a), core::digest(b));
+  // Pinned like the chain generator above: in-tree draws must survive
+  // refactors bit for bit too.
+  EXPECT_EQ(core::to_string(core::digest(a)), "d446659eda96bc29b7e89670a5b920b0");
+  // Join probability is part of the identity: a different value reshapes
+  // the dependency graph (and therefore the digest).
+  EXPECT_NE(core::digest(generate_in_tree(scenario, 0.7, 7)), core::digest(a));
+}
+
+TEST(ScenarioInTree, JoinProbabilityZeroEdgeIsAChainWithPinnedDigest) {
+  Scenario scenario;
+  scenario.tasks = 12;
+  scenario.machines = 5;
+  scenario.types = 2;
+  const core::Problem problem = generate_in_tree(scenario, 0.0, 11);
+  EXPECT_TRUE(problem.app.is_linear_chain());
+  EXPECT_EQ(core::to_string(core::digest(problem)), "883d97188199ec1c971ddf9303ca21a5");
+}
+
+TEST(ScenarioInTree, JoinProbabilityOneEdgeStarsOntoTheFirstTask) {
+  // With p=1, every task after the first chain step attaches to the lone
+  // joinable task, so task 0 becomes the sink of a star of n-1 branches.
+  Scenario scenario;
+  scenario.tasks = 12;
+  scenario.machines = 5;
+  scenario.types = 2;
+  const core::Problem problem = generate_in_tree(scenario, 1.0, 11);
+  EXPECT_EQ(problem.app.predecessors(0).size(), 11u);
+  for (core::TaskIndex i = 1; i < problem.task_count(); ++i) {
+    EXPECT_EQ(problem.app.successor(i), 0u);
+  }
+  EXPECT_EQ(core::to_string(core::digest(problem)), "a99279dce58fe53f56803ca1d47a7f56");
+}
+
+TEST(ScenarioInTree, RejectsJoinProbabilityOutsideUnitInterval) {
+  Scenario scenario;
+  scenario.tasks = 5;
+  scenario.machines = 3;
+  scenario.types = 2;
+  EXPECT_THROW((void)generate_in_tree(scenario, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW((void)generate_in_tree(scenario, 1.1, 1), std::invalid_argument);
 }
 
 TEST(ScenarioInTree, EvaluationWorksOnGeneratedTrees) {

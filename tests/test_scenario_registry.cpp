@@ -1,0 +1,177 @@
+// Tests for the scenario registry (exp/scenario_registry.hpp): builtin
+// discovery, deterministic generation per id, the paired base instance
+// across failure regimes, "iid" bit-compatibility with the legacy
+// generator, and per-scenario sweeps through the runner.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/digest.hpp"
+#include "exp/figures.hpp"
+#include "exp/method.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario_registry.hpp"
+
+namespace mf::exp {
+namespace {
+
+Scenario small_scenario() {
+  Scenario scenario;
+  scenario.tasks = 12;
+  scenario.machines = 5;
+  scenario.types = 3;
+  return scenario;
+}
+
+TEST(ScenarioRegistry, BuiltinsAreRegistered) {
+  const auto ids = ScenarioRegistry::instance().ids();
+  const std::vector<std::string> expected{"correlated", "downtime", "iid", "time-varying"};
+  EXPECT_EQ(ids, expected);
+  for (const std::string& id : ids) {
+    const auto generator = ScenarioRegistry::instance().resolve(id);
+    EXPECT_EQ(generator->id(), id);
+    EXPECT_FALSE(generator->description().empty());
+  }
+}
+
+TEST(ScenarioRegistry, ResolveUnknownListsTheRegisteredIds) {
+  try {
+    (void)ScenarioRegistry::instance().resolve("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("available scenarios"), std::string::npos);
+    EXPECT_NE(message.find("iid"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, RegistrationValidatesIds) {
+  auto& registry = ScenarioRegistry::instance();
+  EXPECT_THROW(registry.register_generator(nullptr), std::invalid_argument);
+  // Duplicate of a builtin.
+  EXPECT_THROW(registry.register_generator(registry.resolve("iid")),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, IidInstanceIsBitIdenticalToLegacyGenerate) {
+  const Scenario scenario = small_scenario();
+  const Instance instance =
+      ScenarioRegistry::instance().resolve("iid")->generate(scenario, 77);
+  const core::Problem legacy = generate(scenario, 77);
+  EXPECT_EQ(core::digest(*instance.problem), core::digest(legacy));
+  // The identity model does not re-materialize matrices: solvers see the
+  // very same problem object, and the content digest is the plain digest.
+  EXPECT_TRUE(instance.model_is_identity());
+  EXPECT_EQ(instance.problem.get(), instance.effective.get());
+  EXPECT_EQ(instance.content_digest(), core::digest(legacy));
+}
+
+TEST(ScenarioRegistry, GenerationIsDeterministicPerId) {
+  const Scenario scenario = small_scenario();
+  for (const std::string& id : ScenarioRegistry::instance().ids()) {
+    const auto generator = ScenarioRegistry::instance().resolve(id);
+    const Instance a = generator->generate(scenario, 123);
+    const Instance b = generator->generate(scenario, 123);
+    EXPECT_EQ(a.content_digest(), b.content_digest()) << id;
+    EXPECT_EQ(core::digest(*a.effective), core::digest(*b.effective)) << id;
+    const Instance c = generator->generate(scenario, 124);
+    EXPECT_NE(c.content_digest(), a.content_digest()) << id;
+  }
+}
+
+TEST(ScenarioRegistry, AllScenariosShareOnePairedBaseInstance) {
+  // Every generator draws the base problem from the same (scenario, seed)
+  // stream, so failure regimes are compared on identical factories — the
+  // cross-scenario analogue of the paper's paired design across methods.
+  const Scenario scenario = small_scenario();
+  const core::Digest base =
+      core::digest(*ScenarioRegistry::instance().resolve("iid")->generate(scenario, 9).problem);
+  for (const std::string& id : ScenarioRegistry::instance().ids()) {
+    const Instance instance = ScenarioRegistry::instance().resolve(id)->generate(scenario, 9);
+    EXPECT_EQ(core::digest(*instance.problem), base) << id;
+  }
+}
+
+TEST(ScenarioRegistry, NonIidModelsTransformTheEffectiveProblem) {
+  const Scenario scenario = small_scenario();
+  for (const std::string& id : ScenarioRegistry::instance().ids()) {
+    if (id == "iid") continue;
+    const Instance instance = ScenarioRegistry::instance().resolve(id)->generate(scenario, 5);
+    EXPECT_FALSE(instance.model_is_identity()) << id;
+    EXPECT_NE(core::digest(*instance.effective), core::digest(*instance.problem)) << id;
+    EXPECT_NE(instance.content_digest(), core::digest(*instance.problem)) << id;
+    EXPECT_EQ(instance.model->id(), id);
+  }
+}
+
+TEST(ScenarioRegistry, SweepRunsUnderEveryScenario) {
+  for (const std::string& id : ScenarioRegistry::instance().ids()) {
+    SweepSpec spec;
+    spec.name = "tiny-" + id;
+    spec.scenario_id = id;
+    spec.base.machines = 4;
+    spec.base.types = 2;
+    spec.values = {6, 8};
+    spec.methods = heuristic_methods({"H2", "H4w"});
+    spec.trials = 4;
+    spec.max_trials = 4;
+    spec.base_seed = 321;
+    const SweepResult result = run_sweep(spec);
+    ASSERT_EQ(result.points.size(), 2u) << id;
+    for (const PointResult& point : result.points) {
+      EXPECT_EQ(point.successes, 4u) << id;
+      for (const auto& [name, summary] : point.period_by_method) {
+        EXPECT_GT(summary.mean, 0.0) << id << "/" << name;
+      }
+    }
+  }
+}
+
+TEST(ScenarioRegistry, HarsherRegimesRaiseTheRecordedPeriods) {
+  // Same base instances, same methods, same seeds — only the failure regime
+  // changes. Downtime inflates every effective w, so the recorded mean
+  // period must exceed iid's on every point (correlated adds shocks on top
+  // of the base rates, same direction).
+  auto sweep_for = [](const std::string& id) {
+    SweepSpec spec;
+    spec.name = "cmp-" + id;
+    spec.scenario_id = id;
+    spec.base.machines = 4;
+    spec.base.types = 2;
+    spec.values = {10};
+    spec.methods = heuristic_methods({"H4w"});
+    spec.trials = 6;
+    spec.max_trials = 6;
+    spec.base_seed = 654;
+    return run_sweep(spec).points[0].period_by_method.at("H4w").mean;
+  };
+  const double iid = sweep_for("iid");
+  EXPECT_GT(sweep_for("downtime"), iid);
+  EXPECT_GT(sweep_for("correlated"), iid);
+}
+
+TEST(ScenarioRegistry, RunSweepRejectsUnknownScenarioIds) {
+  SweepSpec spec;
+  spec.name = "bad";
+  spec.scenario_id = "nope";
+  spec.base.machines = 4;
+  spec.base.types = 2;
+  spec.values = {6};
+  spec.methods = heuristic_methods({"H2"});
+  spec.trials = 1;
+  spec.max_trials = 1;
+  EXPECT_THROW((void)run_sweep(spec), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, ScenarioFigureSpecsAreRegistered) {
+  for (const std::string& name : {"scn-correlated", "scn-time-varying", "scn-downtime"}) {
+    const auto spec = figure_spec_by_name(name);
+    ASSERT_TRUE(spec.has_value()) << name;
+    EXPECT_EQ("scn-" + spec->scenario_id, name);
+    EXPECT_TRUE(ScenarioRegistry::instance().contains(spec->scenario_id));
+  }
+}
+
+}  // namespace
+}  // namespace mf::exp

@@ -170,6 +170,49 @@ TEST(Shard, ShardFilesRoundTripThroughText) {
   expect_identical(merge(std::move(shards)), merge(std::move(reloaded)));
 }
 
+TEST(Shard, NonIidScenarioShardsRoundTripAndMergeBitIdentically) {
+  // A non-iid regime exercises the v2 format's scenario-id and model lines:
+  // model-parameter overrides must survive the text round-trip or a merged
+  // campaign would silently validate against default parameters.
+  SweepSpec spec = small_spec();
+  spec.name = "tiny-downtime";
+  spec.scenario_id = "downtime";
+  spec.base.mean_uptime_ms = 30'000.0;
+  spec.base.mean_repair_ms = 6'000.0;
+  const SweepResult unsharded = run_sweep(spec);
+  std::vector<SweepResult> shards = run_shards(spec, 2);
+  std::vector<SweepResult> reloaded;
+  for (const SweepResult& shard : shards) {
+    reloaded.push_back(sweep_shard_from_text(to_text(shard)));
+    EXPECT_EQ(reloaded.back().spec.scenario_id, "downtime");
+    EXPECT_EQ(reloaded.back().spec.base.mean_uptime_ms, 30'000.0);
+    EXPECT_EQ(reloaded.back().spec.base.mean_repair_ms, 6'000.0);
+  }
+  expect_identical(unsharded, merge(std::move(reloaded)));
+}
+
+TEST(Shard, MergeRejectsMixedScenarioIds) {
+  const SweepSpec spec = small_spec();
+  std::vector<SweepResult> shards = run_shards(spec, 2);
+  SweepSpec other = spec;
+  other.scenario_id = "correlated";
+  SweepOptions options;
+  options.shard = {1, 2};
+  shards[1] = run_sweep(other, options);
+  EXPECT_THROW((void)merge(std::move(shards)), std::invalid_argument);
+}
+
+TEST(Shard, MergeRejectsMixedModelParameters) {
+  const SweepSpec spec = small_spec();
+  std::vector<SweepResult> shards = run_shards(spec, 2);
+  SweepSpec other = spec;
+  other.base.shock_max = 0.2;  // same scenario id, different model knob
+  SweepOptions options;
+  options.shard = {1, 2};
+  shards[1] = run_sweep(other, options);
+  EXPECT_THROW((void)merge(std::move(shards)), std::invalid_argument);
+}
+
 TEST(Shard, SerializingACompleteResultIsAnError) {
   EXPECT_THROW((void)to_text(run_sweep(small_spec())), std::invalid_argument);
 }
