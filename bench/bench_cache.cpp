@@ -1,22 +1,29 @@
-// Cache micro-bench: cold vs. warm figure sweep through the one execution
-// engine, emitting BENCH_cache.json for the CI perf trajectory.
+// Cache micro-bench: cold vs. warm figure sweeps through the one execution
+// engine, for both the in-memory and the persistent on-disk backend,
+// emitting BENCH_cache.json for the CI perf trajectory.
 //
-// Runs a figure sweep twice with a read-write result cache: the cold pass
-// solves every (trial, method) instance and populates the cache, the warm
-// pass must re-solve nothing. The JSON records both wall times, the
-// speedup, and the cache counters — a warm hit rate below 1.0 or a speedup
-// near 1x is a regression in the content-addressed key or the batch
-// wiring, so the bench doubles as an end-to-end check.
+// Memory section: runs a figure sweep twice with a read-write in-memory
+// cache — the cold pass solves every (trial, method) instance, the warm
+// pass must re-solve nothing.
+//
+// Disk section: runs the same sweep against a TieredCache over a scratch
+// --cache-dir style directory, then simulates a process restart by
+// rebuilding BOTH layers from scratch over the populated directory — the
+// disk-warm pass must complete with zero solver invocations, entries served
+// purely from disk. That is the persistence guarantee CI enforces; the
+// timings quantify what a restart costs relative to staying hot in memory.
 //
 //   bench_cache [--figure fig06] [--scale K] [--out BENCH_cache.json]
+//               [--dir bench_cache_dir]
 //
 // Deliberately free of the google-benchmark dependency: one timed pass per
-// temperature is the measurement (the cold pass cannot be repeated without
+// temperature is the measurement (a cold pass cannot be repeated without
 // resetting the cache, which is the quantity under test), so the harness
 // would add nothing but a dependency that may be absent.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -24,6 +31,9 @@
 #include "exp/figures.hpp"
 #include "exp/runner.hpp"
 #include "solve/cache.hpp"
+#include "solve/disk_cache.hpp"
+#include "solve/service.hpp"
+#include "solve/tiered_cache.hpp"
 #include "support/cli.hpp"
 #include "support/thread_pool.hpp"
 
@@ -38,6 +48,15 @@ double run_timed_ms(const mf::exp::SweepSpec& spec, const mf::exp::SweepOptions&
       .count();
 }
 
+/// Solver invocations across the process since the last call — how the
+/// disk-warm pass proves it re-solved nothing.
+std::uint64_t solved_delta(std::uint64_t& last) {
+  const std::uint64_t now = mf::solve::SolveService::process_stats().solved;
+  const std::uint64_t delta = now - last;
+  last = now;
+  return delta;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -46,6 +65,7 @@ int main(int argc, char** argv) {
   const auto scale =
       static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("scale", 1)));
   const std::string out_path = args.get("out", "BENCH_cache.json");
+  const std::filesystem::path disk_dir = args.get("dir", "bench_cache_dir");
 
   std::optional<mf::exp::SweepSpec> found = mf::exp::figure_spec_by_name(figure);
   if (!found.has_value()) {
@@ -60,6 +80,7 @@ int main(int argc, char** argv) {
   mf::exp::SweepOptions options;
   options.cache = mf::solve::CachePolicy::kReadWrite;
 
+  // --- memory backend: cold pass populates, warm pass must 100%-hit ------
   mf::solve::ResultCache& cache = mf::solve::ResultCache::global();
   cache.clear();
   const mf::solve::CacheStats before = cache.stats();
@@ -77,7 +98,33 @@ int main(int argc, char** argv) {
   const double warm_hit_rate = warm_delta.hit_rate();
   const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
 
-  char json[512];
+  // --- disk backend: cold pass populates the directory, then a simulated
+  // process restart (fresh memory layer, fresh DiskCache over the same
+  // directory) must complete with zero solver invocations ----------------
+  std::filesystem::remove_all(disk_dir);
+  std::uint64_t solved_marker = mf::solve::SolveService::process_stats().solved;
+  double disk_cold_ms = 0.0;
+  {
+    mf::solve::ResultCache memory(mf::solve::ResultCache::kDefaultCapacity);
+    mf::solve::DiskCache disk(disk_dir);
+    mf::solve::TieredCache tiered(memory, disk);
+    options.backend = &tiered;
+    disk_cold_ms = run_timed_ms(spec, options, pool);
+  }
+  const std::uint64_t disk_cold_solves = solved_delta(solved_marker);
+  double disk_warm_ms = 0.0;
+  {
+    mf::solve::ResultCache memory(mf::solve::ResultCache::kDefaultCapacity);
+    mf::solve::DiskCache disk(disk_dir);
+    mf::solve::TieredCache tiered(memory, disk);
+    options.backend = &tiered;
+    disk_warm_ms = run_timed_ms(spec, options, pool);
+  }
+  const std::uint64_t disk_warm_solves = solved_delta(solved_marker);
+  const double disk_speedup = disk_warm_ms > 0.0 ? disk_cold_ms / disk_warm_ms : 0.0;
+  std::filesystem::remove_all(disk_dir);
+
+  char json[1024];
   std::snprintf(json, sizeof json,
                 "{\n"
                 "  \"bench\": \"cache\",\n"
@@ -90,12 +137,20 @@ int main(int argc, char** argv) {
                 "  \"cold_misses\": %llu,\n"
                 "  \"warm_hits\": %llu,\n"
                 "  \"warm_misses\": %llu,\n"
-                "  \"warm_hit_rate\": %.4f\n"
+                "  \"warm_hit_rate\": %.4f,\n"
+                "  \"disk_cold_ms\": %.3f,\n"
+                "  \"disk_warm_ms\": %.3f,\n"
+                "  \"disk_speedup\": %.2f,\n"
+                "  \"disk_cold_solves\": %llu,\n"
+                "  \"disk_warm_solves\": %llu\n"
                 "}\n",
                 spec.name.c_str(), scale, pool.size(), cold_ms, warm_ms, speedup,
                 static_cast<unsigned long long>(cold_misses),
                 static_cast<unsigned long long>(warm_hits),
-                static_cast<unsigned long long>(warm_misses), warm_hit_rate);
+                static_cast<unsigned long long>(warm_misses), warm_hit_rate,
+                disk_cold_ms, disk_warm_ms, disk_speedup,
+                static_cast<unsigned long long>(disk_cold_solves),
+                static_cast<unsigned long long>(disk_warm_solves));
 
   std::ofstream out(out_path);
   if (!out.good()) {
@@ -106,9 +161,14 @@ int main(int argc, char** argv) {
   std::printf("%s", json);
   std::printf("written to %s\n", out_path.c_str());
 
-  // Exit nonzero when the warm pass re-solved anything — or never consulted
-  // the cache at all (warm_hits == 0 would make the miss check vacuous):
-  // CI then catches both a broken cache key and dropped cache wiring, even
-  // if nobody reads the timing numbers.
-  return warm_misses == 0 && warm_hits > 0 ? 0 : 1;
+  // Exit nonzero when either warm pass re-solved anything — or the memory
+  // warm pass never consulted the cache at all (warm_hits == 0 would make
+  // the miss check vacuous): CI then catches a broken content-addressed
+  // key, dropped cache wiring, AND a broken on-disk round-trip, even if
+  // nobody reads the timing numbers.
+  const bool memory_ok = warm_misses == 0 && warm_hits > 0;
+  const bool disk_ok = disk_warm_solves == 0 && disk_cold_solves > 0;
+  if (!memory_ok) std::fprintf(stderr, "FAIL: memory warm pass re-solved instances\n");
+  if (!disk_ok) std::fprintf(stderr, "FAIL: disk-warm restart re-solved instances\n");
+  return memory_ok && disk_ok ? 0 : 1;
 }

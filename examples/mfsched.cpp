@@ -7,10 +7,14 @@
 //
 //   mfsched <problem-file> [--method ID] [--refine] [--simulate N]
 //           [--budget NODES] [--out mapping-file] [--seed S] [--cache MODE]
+//           [--cache-dir DIR] [--cache-stats]
 //   mfsched --list | --list-scenarios
 //   mfsched --figure NAME [--scenario ID] [--scale K] [--cache MODE]
+//           [--cache-dir DIR] [--cache-stats]
 //           [--repeat R] [--shard i/N [--out shard-file]]
 //   mfsched --merge <shard-file>...
+//   mfsched --serve-demo [--requests N] [--distinct K] [--method ID]
+//           [--cache-dir DIR]
 //
 // `--method` accepts every registered solver id (try `--list`): the paper
 // heuristics H1..H4f, the exact solvers bnb / mip / brute, the one-to-one
@@ -24,13 +28,31 @@
 // model-adjusted analytic periods. `--shard i/N` evaluates only shard i's
 // deterministic slice of the (point, trial) pairs and writes a shard file;
 // `--merge` recombines one file per shard into the complete result —
-// bit-identical to the unsharded run. `--cache off|read|rw` sets the
-// result-cache policy; with rw, a `--repeat`ed sweep re-solves nothing
-// (the printed hit counters prove it).
+// bit-identical to the unsharded run.
+//
+// Caching: `--cache off|read|rw` sets the result-cache policy; with rw, a
+// `--repeat`ed sweep re-solves nothing (the printed hit counters prove it).
+// `--cache-dir DIR` layers the in-memory cache over a persistent on-disk
+// store: results survive the process, so a FRESH mfsched pointed at a
+// populated directory re-solves zero instances, and shard processes on one
+// host can share a directory. `--cache-stats` prints the backend's
+// hit/miss/eviction counters plus the solve-service counters (requests,
+// cache hits, in-flight dedup joins, actual solver invocations) after any
+// run.
+//
+// `--serve-demo` exercises the async service the way a scheduler server
+// would: it submits a stream of N concurrent requests over K distinct
+// problems to `solve::SolveService` and proves single-flight deduplication
+// — at most one solver invocation per distinct request identity, duplicate
+// answers bit-identical — with the counters to show who was answered by a
+// shared flight vs. the cache.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,8 +66,11 @@
 #include "exp/sweep_io.hpp"
 #include "sim/simulator.hpp"
 #include "solve/cache.hpp"
+#include "solve/disk_cache.hpp"
 #include "solve/registry.hpp"
+#include "solve/service.hpp"
 #include "solve/solver.hpp"
+#include "solve/tiered_cache.hpp"
 #include "support/cli.hpp"
 #include "support/thread_pool.hpp"
 
@@ -55,19 +80,28 @@ int usage(const char* program) {
   std::printf(
       "usage: %s <problem-file> [--method ID] [--refine] [--simulate N]\n"
       "          [--budget NODES] [--out FILE] [--seed S] [--cache off|read|rw]\n"
+      "          [--cache-dir DIR] [--cache-stats]\n"
       "       %s --list | --list-scenarios\n"
       "       %s --demo [--tasks N --machines M --types P --seed S]\n"
       "       %s --figure NAME [--scenario ID] [--scale K] [--cache MODE]\n"
+      "          [--cache-dir DIR] [--cache-stats]\n"
       "          [--repeat R] [--shard i/N [--out shard-file]]\n"
       "       %s --merge <shard-file>...\n"
+      "       %s --serve-demo [--requests N] [--distinct K] [--method ID]\n"
+      "          [--cache-dir DIR]\n"
       "--list            prints every registered solver id\n"
       "--list-scenarios  prints every registered failure-model scenario id\n"
       "--demo            writes demo_problem.txt instead of scheduling\n"
       "--figure          runs a figure sweep (%s)\n"
       "--scenario        draws the sweep's instances under this failure model (%s)\n"
       "--shard           runs only slice i of N and writes a shard file for --merge\n"
-      "--merge           recombines shard files into the full sweep table\n",
-      program, program, program, program, program,
+      "--merge           recombines shard files into the full sweep table\n"
+      "--cache-dir       persistent on-disk result cache layered under memory\n"
+      "                  (implies --cache rw unless overridden); a fresh process\n"
+      "                  pointed at a populated dir re-solves nothing\n"
+      "--cache-stats     prints cache + solve-service counters after the run\n"
+      "--serve-demo      concurrent request replay proving single-flight dedup\n",
+      program, program, program, program, program, program,
       mf::exp::figure_spec_names().c_str(), mf::exp::scenario_ids().c_str());
   return 2;
 }
@@ -91,25 +125,98 @@ int list_scenarios() {
 }
 
 mf::solve::CachePolicy parse_cache_flag(const mf::support::CliArgs& args) {
-  const std::string text = args.get("cache", "off");
+  // --cache-dir without an explicit --cache policy implies read-write: a
+  // persistent store that nothing writes to or reads from would make the
+  // flag silently inert.
+  const char* fallback = args.has("cache-dir") ? "rw" : "off";
+  const std::string text = args.get("cache", fallback);
   const auto policy = mf::solve::cache_policy_from_string(text);
   if (!policy.has_value()) {
     std::fprintf(stderr, "error: unknown --cache mode '%s' (off, read, rw)\n", text.c_str());
     std::exit(2);
   }
+  if (*policy == mf::solve::CachePolicy::kOff && args.has("cache-dir")) {
+    std::fprintf(stderr,
+                 "warning: --cache off makes --cache-dir inert (nothing is read or stored)\n");
+  }
   return *policy;
 }
 
-void print_cache_delta(const mf::solve::CacheStats& before) {
-  const mf::solve::CacheStats now = mf::solve::ResultCache::global().stats();
-  mf::solve::CacheStats delta;
-  delta.hits = now.hits - before.hits;
-  delta.misses = now.misses - before.misses;
-  delta.evictions = now.evictions - before.evictions;
-  std::printf("cache: %llu hits / %llu misses (%.1f%% hit rate), %llu evictions, %zu resident\n",
-              static_cast<unsigned long long>(delta.hits),
-              static_cast<unsigned long long>(delta.misses), 100.0 * delta.hit_rate(),
-              static_cast<unsigned long long>(delta.evictions), now.size);
+/// The one spelling of the service counter line — CI and docs grep it
+/// ("solved 0$"), so every mode must print it through this helper.
+void print_service_line(const mf::solve::ServiceStats& delta) {
+  std::printf(
+      "service: submitted %llu, cache hits %llu, in-flight dedup %llu, solved %llu\n",
+      static_cast<unsigned long long>(delta.submitted),
+      static_cast<unsigned long long>(delta.cache_hits),
+      static_cast<unsigned long long>(delta.dedup_joined),
+      static_cast<unsigned long long>(delta.solved));
+}
+
+/// Builds the cache backend a run solves against — the process-wide
+/// in-memory cache, optionally layered over a persistent --cache-dir store
+/// — and prints counter deltas for it. One scope spans one logical run, so
+/// `print_delta` reports what THIS run did, not process history.
+class CacheScope {
+ public:
+  explicit CacheScope(const mf::support::CliArgs& args) {
+    const std::string dir = args.get("cache-dir", "");
+    if (!dir.empty()) {
+      disk_.emplace(dir);
+      tiered_.emplace(mf::solve::ResultCache::global(), *disk_);
+      backend_ = &*tiered_;
+    } else {
+      backend_ = &mf::solve::ResultCache::global();
+    }
+    reset_baseline();
+  }
+
+  [[nodiscard]] mf::solve::CacheBackend* backend() noexcept { return backend_; }
+
+  /// Re-anchors the deltas (e.g. between --repeat rounds).
+  void reset_baseline() {
+    cache_before_ = backend_->stats();
+    service_before_ = mf::solve::SolveService::process_stats();
+  }
+
+  void print_delta() const {
+    const mf::solve::CacheStats now = backend_->stats();
+    const mf::solve::ServiceStats service = mf::solve::SolveService::process_stats();
+    std::printf(
+        "cache [%s]: %llu hits / %llu misses (%.1f%% hit rate), %llu evictions, "
+        "%zu resident\n",
+        backend_->describe().c_str(),
+        static_cast<unsigned long long>(now.hits - cache_before_.hits),
+        static_cast<unsigned long long>(now.misses - cache_before_.misses),
+        100.0 * delta_hit_rate(now),
+        static_cast<unsigned long long>(now.evictions - cache_before_.evictions),
+        now.size);
+    mf::solve::ServiceStats delta;
+    delta.submitted = service.submitted - service_before_.submitted;
+    delta.cache_hits = service.cache_hits - service_before_.cache_hits;
+    delta.dedup_joined = service.dedup_joined - service_before_.dedup_joined;
+    delta.solved = service.solved - service_before_.solved;
+    print_service_line(delta);
+  }
+
+ private:
+  [[nodiscard]] double delta_hit_rate(const mf::solve::CacheStats& now) const {
+    mf::solve::CacheStats delta;
+    delta.hits = now.hits - cache_before_.hits;
+    delta.misses = now.misses - cache_before_.misses;
+    return delta.hit_rate();
+  }
+
+  std::optional<mf::solve::DiskCache> disk_;
+  std::optional<mf::solve::TieredCache> tiered_;
+  mf::solve::CacheBackend* backend_ = nullptr;
+  mf::solve::CacheStats cache_before_;
+  mf::solve::ServiceStats service_before_;
+};
+
+/// Cache counters print when the run used the cache or the user asked.
+bool wants_cache_stats(const mf::support::CliArgs& args, mf::solve::CachePolicy policy) {
+  return args.has("cache-stats") || policy != mf::solve::CachePolicy::kOff;
 }
 
 void print_sweep(const mf::exp::SweepResult& result) {
@@ -153,6 +260,8 @@ int run_figure(const mf::support::CliArgs& args) {
 
   mf::exp::SweepOptions options;
   options.cache = parse_cache_flag(args);
+  CacheScope cache_scope(args);
+  options.backend = cache_scope.backend();
   const std::string shard_text = args.get("shard", "");
   if (!shard_text.empty()) {
     unsigned long long index = 0;
@@ -177,7 +286,6 @@ int run_figure(const mf::support::CliArgs& args) {
       std::fprintf(stderr, "error: --repeat cannot be combined with --shard\n");
       return 2;
     }
-    const auto before = mf::solve::ResultCache::global().stats();
     const mf::exp::SweepResult result = mf::exp::run_sweep(spec, options, &pool);
     std::string out = args.get("out", "");
     if (out.empty()) {
@@ -197,7 +305,7 @@ int run_figure(const mf::support::CliArgs& args) {
     std::printf("shard %zu/%zu: %zu trial outcomes over %zu points written to %s\n",
                 options.shard.index, options.shard.count, outcomes, result.points.size(),
                 out.c_str());
-    if (options.cache != mf::solve::CachePolicy::kOff) print_cache_delta(before);
+    if (wants_cache_stats(args, options.cache)) cache_scope.print_delta();
     return 0;
   }
 
@@ -205,10 +313,10 @@ int run_figure(const mf::support::CliArgs& args) {
   const std::string out = args.get("out", "");
   for (std::size_t round = 0; round < repeat; ++round) {
     if (repeat > 1) std::printf("--- run %zu of %zu ---\n", round + 1, repeat);
-    const auto before = mf::solve::ResultCache::global().stats();
+    cache_scope.reset_baseline();
     const mf::exp::SweepResult result = mf::exp::run_sweep(spec, options, &pool);
     print_sweep(result);
-    if (options.cache != mf::solve::CachePolicy::kOff) print_cache_delta(before);
+    if (wants_cache_stats(args, options.cache)) cache_scope.print_delta();
     if (!out.empty()) {
       std::ofstream file(out);
       file << result.to_table().to_string() << "\n" << result.to_chart() << "\n";
@@ -220,6 +328,96 @@ int run_figure(const mf::support::CliArgs& args) {
       std::printf("table written to %s\n", out.c_str());
     }
   }
+  return 0;
+}
+
+/// The scheduler-service rehearsal: replay a stream of concurrent requests
+/// — N submissions over K distinct request identities — through
+/// `SolveService::submit` and verify the service's contract: at most one
+/// solver invocation per distinct identity (single-flight dedup plus cache
+/// population), every duplicate answer bit-identical to its leader's.
+int run_serve_demo(const mf::support::CliArgs& args) {
+  const std::size_t total =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("requests", 64)));
+  const std::size_t distinct = std::min(
+      total, static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("distinct", 8))));
+  const std::string method = args.get("method", "H4w+ls");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  CacheScope cache_scope(args);
+  mf::support::ThreadPool pool;
+  mf::solve::SolveService service(&pool, cache_scope.backend());
+
+  // Instances sized so one solve takes long enough that later duplicates
+  // genuinely arrive mid-flight (H4w+ls runs a refinement stage), but a
+  // 64-request demo still finishes in well under a second.
+  std::vector<std::shared_ptr<const mf::core::Problem>> problems;
+  problems.reserve(distinct);
+  for (std::size_t k = 0; k < distinct; ++k) {
+    mf::exp::Scenario scenario;
+    scenario.tasks = 120;
+    scenario.machines = 12;
+    scenario.types = 4;
+    problems.push_back(std::make_shared<const mf::core::Problem>(
+        mf::exp::generate(scenario, seed + k)));
+  }
+
+  std::printf("serve-demo: %zu concurrent requests over %zu distinct identities, "
+              "method %s, backend %s\n",
+              total, distinct, method.c_str(), cache_scope.backend()->describe().c_str());
+
+  std::vector<std::future<mf::solve::SolveResult>> futures;
+  futures.reserve(total);
+  try {
+    for (std::size_t i = 0; i < total; ++i) {
+      mf::solve::SolveRequest request;
+      // Round-robin over the identities: the first `distinct` submissions
+      // become flight leaders, the rest land mid-flight (dedup) or after a
+      // flight completed (cache hit). Either way: no second solve.
+      request.problem = problems[i % distinct];
+      request.solver_id = method;
+      request.params.seed = seed;
+      request.params.cache = mf::solve::CachePolicy::kReadWrite;
+      futures.push_back(service.submit(std::move(request)));
+    }
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+
+  std::vector<mf::solve::SolveResult> results;
+  results.reserve(total);
+  for (auto& future : futures) results.push_back(future.get());
+
+  // Every answer for one identity must be bit-identical to its first
+  // answer — shared flights and cache hits return exactly the result the
+  // solver computed once.
+  std::size_t mismatches = 0;
+  for (std::size_t i = distinct; i < total; ++i) {
+    const mf::solve::SolveResult& first = results[i % distinct];
+    const mf::solve::SolveResult& later = results[i];
+    const bool identical =
+        later.status == first.status && later.mapping == first.mapping &&
+        std::memcmp(&later.period, &first.period, sizeof(double)) == 0;
+    if (!identical) ++mismatches;
+  }
+
+  // A fresh service instance starts at zero, so its stats ARE the delta.
+  const mf::solve::ServiceStats stats = service.stats();
+  print_service_line(stats);
+  if (stats.solved > distinct) {
+    std::fprintf(stderr, "FAIL: %llu solver invocations for %zu distinct identities\n",
+                 static_cast<unsigned long long>(stats.solved), distinct);
+    return 1;
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: %zu duplicate answers differ from their leader\n",
+                 mismatches);
+    return 1;
+  }
+  std::printf("ok: every duplicate shared its leader's solve, %zu/%zu answers "
+              "bit-identical\n",
+              total - distinct, total - distinct);
   return 0;
 }
 
@@ -261,6 +459,7 @@ int main(int argc, char** argv) {
   if (args.has("list-scenarios")) return list_scenarios();
   if (args.has("figure")) return run_figure(args);
   if (args.has("merge")) return run_merge(args);
+  if (args.has("serve-demo")) return run_serve_demo(args);
 
   if (args.has("demo")) {
     mf::exp::Scenario scenario;
@@ -297,14 +496,23 @@ int main(int argc, char** argv) {
     params.max_nodes = static_cast<std::uint64_t>(args.get_int("budget", 0));
   }
 
+  // The single-solve path rides the same async service the sweeps and any
+  // future server use: submit one request, wait on its future.
+  CacheScope cache_scope(args);
   const mf::solve::SolveResult result = [&] {
     try {
-      return mf::solve::run(problem, method, params);
+      mf::solve::SolveRequest request;
+      request.problem = std::make_shared<const mf::core::Problem>(problem);
+      request.solver_id = method;
+      request.params = params;
+      mf::solve::SolveService service(nullptr, cache_scope.backend());
+      return service.submit(std::move(request)).get();
     } catch (const std::invalid_argument& error) {
       std::fprintf(stderr, "error: %s\n", error.what());
       std::exit(usage(args.program().c_str()));
     }
   }();
+  if (args.has("cache-stats")) cache_scope.print_delta();
 
   const auto& diag = result.diagnostics;
   if (!result.has_mapping()) {

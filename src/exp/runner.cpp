@@ -114,7 +114,7 @@ std::vector<TrialOutcome> evaluate_trials(const SweepSpec& spec, const Scenario&
   }
 
   const std::vector<solve::SolveResult> results =
-      solve::BatchSolver(pool).solve_all(requests);
+      solve::BatchSolver(pool, options.backend).solve_all(requests);
 
   std::vector<TrialOutcome> outcomes(trials.size());
   for (std::size_t t = 0; t < trials.size(); ++t) {

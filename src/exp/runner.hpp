@@ -37,6 +37,10 @@
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
+namespace mf::solve {
+class CacheBackend;
+}
+
 namespace mf::exp {
 
 enum class SweepVariable { kTasks, kTypes, kMachines };
@@ -83,9 +87,15 @@ struct ShardSpec {
 /// Execution options orthogonal to what the sweep measures.
 struct SweepOptions {
   ShardSpec shard;
-  /// Cache policy stamped on every request (solve/cache.hpp): kReadWrite
-  /// makes a repeated figure run re-solve nothing.
+  /// Cache policy stamped on every request (solve/cache_backend.hpp):
+  /// kReadWrite makes a repeated figure run re-solve nothing.
   solve::CachePolicy cache = solve::CachePolicy::kOff;
+  /// Cache backend every solve consults; null means the process-wide
+  /// in-memory `ResultCache::global()`. Point it at a `TieredCache` over a
+  /// `DiskCache` (mfsched --cache-dir) and the warm-sweep guarantee
+  /// survives the process: a fresh run re-solves nothing a prior run
+  /// stored. Must outlive the sweep.
+  solve::CacheBackend* backend = nullptr;
 };
 
 /// Raw outcome of one paired trial: either every method counted (success,

@@ -1,77 +1,11 @@
 #include "solve/batch.hpp"
 
-#include <exception>
-#include <map>
-
-#include "core/digest.hpp"
-#include "solve/cache.hpp"
-#include "solve/registry.hpp"
-#include "support/check.hpp"
-
 namespace mf::solve {
 
 std::vector<SolveResult> BatchSolver::solve_all(
     const std::vector<SolveRequest>& requests) const {
-  const SolverRegistry& registry = SolverRegistry::instance();
-
-  // Resolve everything before launching work: an unknown solver id or a
-  // null problem fails the whole batch up front instead of mid-flight.
-  // Resolution is deduped by effective id — a sweep batch has thousands of
-  // requests but a handful of distinct ids, and each resolve takes the
-  // registry mutex (and allocates a fresh wrapper for "+ls" composites).
-  std::map<std::string, std::shared_ptr<const Solver>> resolved;
-  std::vector<std::shared_ptr<const Solver>> solvers;
-  solvers.reserve(requests.size());
-  for (const SolveRequest& request : requests) {
-    MF_REQUIRE(request.problem != nullptr, "batch request needs a problem");
-    const std::string id = effective_solver_id(request.solver_id, request.params);
-    auto [it, inserted] = resolved.try_emplace(id);
-    if (inserted) it->second = registry.resolve(id);
-    solvers.push_back(it->second);
-  }
-
-  // Digest each distinct problem once, up front: requests of a paired trial
-  // share one instance, so per-request digesting would redo O(n*m) hashing
-  // methods-count times.
-  ResultCache& cache = cache_ != nullptr ? *cache_ : ResultCache::global();
-  std::map<const core::Problem*, core::Digest> digests;
-  for (const SolveRequest& request : requests) {
-    if (request.params.cache == CachePolicy::kOff) continue;
-    const core::Problem* problem = request.problem.get();
-    if (!digests.contains(problem)) digests.emplace(problem, core::digest(*problem));
-  }
-
-  std::vector<SolveResult> results(requests.size());
-  const auto body = [&](std::size_t i) {
-    SolveParams params = requests[i].params;
-    if (requests[i].derive_stream_seed) params.seed = stream_seed(params.seed, i);
-    try {
-      if (params.cache == CachePolicy::kOff) {
-        results[i] = timed_solve(*solvers[i], *requests[i].problem, params);
-      } else {
-        results[i] = cached_solve(*solvers[i], *requests[i].problem, params, cache,
-                                  digests.at(requests[i].problem.get()));
-      }
-    } catch (const std::exception& error) {
-      SolveResult failed;
-      failed.status = Status::kError;
-      failed.diagnostics.solver_id = solvers[i]->id();
-      failed.diagnostics.note = error.what();
-      results[i] = std::move(failed);
-    } catch (...) {
-      SolveResult failed;
-      failed.status = Status::kError;
-      failed.diagnostics.solver_id = solvers[i]->id();
-      failed.diagnostics.note = "unknown exception";
-      results[i] = std::move(failed);
-    }
-  };
-  if (pool_ != nullptr) {
-    support::parallel_for(*pool_, requests.size(), body);
-  } else {
-    for (std::size_t i = 0; i < requests.size(); ++i) body(i);
-  }
-  return results;
+  SolveService service(pool_, cache_);
+  return service.solve_all(requests);
 }
 
 }  // namespace mf::solve

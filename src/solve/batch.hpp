@@ -1,54 +1,38 @@
-// Batch execution: fan a vector of solve requests across the shared
-// thread pool. Each request gets its own deterministic RNG stream derived
-// from (request seed, request index), so a pooled batch returns bit-for-bit
-// the same mappings as a sequential loop — the property the sweep runner
-// and any future sharded/cached execution layers build on.
+// Batch execution: the synchronous face of `SolveService`
+// (solve/service.hpp), kept as the name call sites reach for when they have
+// a vector of requests and want a vector of results.
+//
+// Each request gets its own deterministic RNG stream derived from
+// (request seed, request index), so a pooled batch returns bit-for-bit the
+// same mappings as a sequential loop — the property the sweep runner and
+// the sharded/cached execution layers build on. Everything else —
+// single-flight dedup, cache population, error isolation — is the
+// service's; `solve_all` is one constructor call away from it.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <string>
 #include <vector>
 
-#include "core/platform.hpp"
-#include "solve/solver.hpp"
-#include "support/rng.hpp"
-#include "support/thread_pool.hpp"
+#include "solve/service.hpp"
 
 namespace mf::solve {
-
-class ResultCache;
-
-/// One unit of batch work. Problems are shared_ptr so many requests (e.g.
-/// every method of a paired-design trial) can reference one instance
-/// without copying the matrices.
-struct SolveRequest {
-  std::shared_ptr<const core::Problem> problem;
-  std::string solver_id;  ///< registry id, composites ("H4w+ls") included
-  SolveParams params;
-  /// When true (the default) the batch runs the request with
-  /// `stream_seed(params.seed, index)`, decorrelating same-seed requests.
-  /// Set false when the caller already derived a content-addressed seed per
-  /// request — the sweep runner does, so a request's result (and its cache
-  /// key) never depends on batch composition or shard assignment.
-  bool derive_stream_seed = true;
-};
 
 class BatchSolver {
  public:
   /// `pool` may be null for serial execution; results are identical either
   /// way (modulo wall-time diagnostics). `cache` overrides the process-wide
   /// `ResultCache::global()` consulted for requests whose params enable
-  /// caching (tests and benches isolate themselves this way).
-  explicit BatchSolver(support::ThreadPool* pool = nullptr, ResultCache* cache = nullptr)
+  /// caching (tests and benches isolate themselves this way; the CLI points
+  /// it at a TieredCache for --cache-dir persistence).
+  explicit BatchSolver(support::ThreadPool* pool = nullptr, CacheBackend* cache = nullptr)
       : pool_(pool), cache_(cache) {}
 
-  /// Solves every request; `results[i]` corresponds to `requests[i]`.
-  /// All solver ids are resolved up front, so an unknown id throws (with
-  /// the list of known ids) before any work starts. A solver exception
-  /// mid-batch does NOT abort the fan: the request's result becomes
-  /// Status::kError with the message in diagnostics.note, so one bad
-  /// request cannot kill a 10k-request sweep.
+  /// Solves every request through a fresh `SolveService`; `results[i]`
+  /// corresponds to `requests[i]`. All solver ids are resolved up front, so
+  /// an unknown id throws (with the list of known ids) before any work
+  /// starts. A solver exception mid-batch does NOT abort the fan: the
+  /// request's result becomes Status::kError with the message in
+  /// diagnostics.note, so one bad request cannot kill a 10k-request sweep.
   [[nodiscard]] std::vector<SolveResult> solve_all(
       const std::vector<SolveRequest>& requests) const;
 
@@ -57,12 +41,12 @@ class BatchSolver {
   /// (seed, index) — never on scheduling order.
   [[nodiscard]] static std::uint64_t stream_seed(std::uint64_t seed,
                                                  std::size_t index) noexcept {
-    return support::mix_seed(seed, static_cast<std::uint64_t>(index));
+    return SolveService::stream_seed(seed, index);
   }
 
  private:
   support::ThreadPool* pool_;
-  ResultCache* cache_;
+  CacheBackend* cache_;
 };
 
 }  // namespace mf::solve

@@ -1,13 +1,13 @@
-// Content-addressed memoization of solve results.
+// The in-memory cache backend: a sharded-mutex LRU over solve results.
 //
 // The paper's figures are paired-design sweeps: every method re-solves the
 // same random instances, hundreds of times per point, and re-running a
 // figure repeats all of it. `ResultCache` memoizes `SolveResult`s keyed on
-// (problem digest, effective solver id, canonicalized params) so a warm
-// re-run — or a second method sharing a deterministic sub-solve — never
-// re-solves an instance. Keys compare field-by-field (the 128-bit digest
-// plus the full canonical parameter set), so a hit is exactly the result
-// the solver would recompute; the hash only picks the bucket.
+// the canonical `CacheKey` (solve/cache_backend.hpp) so a warm re-run — or
+// a second method sharing a deterministic sub-solve — never re-solves an
+// instance. Keys compare field-by-field (the 128-bit digest plus the full
+// canonical parameter set), so a hit is exactly the result the solver would
+// recompute; the hash only picks the bucket.
 //
 // Concurrency: the cache is sharded — kShardCount independent
 // (mutex, LRU list, hash map) triples selected by key hash — so a
@@ -15,6 +15,9 @@
 // per shard. Each shard evicts least-recently-used entries beyond its slice
 // of the capacity. Hit/miss/insert/evict counters are process-wide atomics
 // surfaced through `stats()` and, per result, `diagnostics.cache_hit`.
+//
+// For entries that must survive the process, layer this over a `DiskCache`
+// with `TieredCache` (solve/tiered_cache.hpp).
 #pragma once
 
 #include <array>
@@ -26,80 +29,11 @@
 #include <string>
 #include <unordered_map>
 
-#include "core/digest.hpp"
-#include "solve/solver.hpp"
+#include "solve/cache_backend.hpp"
 
 namespace mf::solve {
 
-/// Parses "off", "read", "rw" / "read-write"; nullopt otherwise.
-[[nodiscard]] std::optional<CachePolicy> cache_policy_from_string(const std::string& text);
-
-/// The canonical identity of a solve. `local_search` is folded into the
-/// solver id ("+ls"), refinement options are zeroed when no refinement
-/// stage runs, and an absent node budget is distinguished from max_nodes=0
-/// — so two parameter bags that drive byte-identical solves share one key.
-/// Double-valued params are stored as normalized IEEE-754 bit patterns
-/// (-0.0 folded into +0.0), keeping equality and hashing consistent for
-/// every input including NaN.
-///
-/// Caveat: a nonzero `time_limit_ms` makes the refinement-skip decision
-/// wall-clock dependent, so a result computed on a loaded machine may be
-/// the unrefined variant — a later hit returns it verbatim where a fresh
-/// solve might have refined. Time-limited requests that must re-race the
-/// clock each run should not use kReadWrite.
-struct CacheKey {
-  core::Digest problem;
-  std::string solver_id;  ///< effective id, e.g. "H4w+ls"
-  std::string scenario;   ///< scenario/model provenance label ("" = direct solve)
-  std::uint64_t seed = 0;
-  bool has_max_nodes = false;
-  std::uint64_t max_nodes = 0;
-  std::uint64_t time_limit_ms_bits = 0;
-  // Refinement options; all-zero unless solver_id carries "+ls".
-  std::uint64_t refine_max_passes = 0;
-  bool refine_allow_swaps = false;
-  bool refine_first_improvement = false;
-  std::uint64_t refine_min_relative_gain_bits = 0;
-  /// Hash over every identity field above, filled by `make_cache_key` (the
-  /// only way keys are built) so shard selection and the hash map share
-  /// one computation instead of re-hashing the solver id per operation.
-  /// Not part of the identity itself.
-  std::uint64_t hash = 0;
-
-  [[nodiscard]] bool operator==(const CacheKey& other) const {
-    return problem == other.problem && solver_id == other.solver_id &&
-           scenario == other.scenario && seed == other.seed &&
-           has_max_nodes == other.has_max_nodes &&
-           max_nodes == other.max_nodes &&
-           time_limit_ms_bits == other.time_limit_ms_bits &&
-           refine_max_passes == other.refine_max_passes &&
-           refine_allow_swaps == other.refine_allow_swaps &&
-           refine_first_improvement == other.refine_first_improvement &&
-           refine_min_relative_gain_bits == other.refine_min_relative_gain_bits;
-  }
-};
-
-/// Canonicalizes (problem digest, resolved solver id, params) into a key.
-/// `effective_id` must already include composition suffixes — pass
-/// `effective_solver_id(...)` or `Solver::id()` output.
-[[nodiscard]] CacheKey make_cache_key(const core::Digest& problem_digest,
-                                      const std::string& effective_id,
-                                      const SolveParams& params);
-
-struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t insertions = 0;
-  std::uint64_t evictions = 0;
-  std::size_t size = 0;  ///< entries currently resident
-
-  [[nodiscard]] double hit_rate() const noexcept {
-    const std::uint64_t lookups = hits + misses;
-    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
-  }
-};
-
-class ResultCache {
+class ResultCache final : public CacheBackend {
  public:
   static constexpr std::size_t kShardCount = 16;
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
@@ -113,17 +47,16 @@ class ResultCache {
 
   /// Returns the cached result and refreshes its LRU position; counts a
   /// hit or a miss either way.
-  [[nodiscard]] std::optional<SolveResult> lookup(const CacheKey& key);
+  [[nodiscard]] std::optional<SolveResult> lookup(const CacheKey& key) override;
 
   /// Stores (or refreshes) a result, evicting the shard's LRU tail beyond
   /// capacity.
-  void insert(const CacheKey& key, const SolveResult& result);
+  void insert(const CacheKey& key, const SolveResult& result) override;
 
-  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] CacheStats stats() const override;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  /// Drops every entry; counters keep accumulating (they describe the
-  /// process, not the current contents).
-  void clear();
+  void clear() override;
+  [[nodiscard]] std::string describe() const override;
 
   /// The process-wide cache `run()` and `BatchSolver` consult. Sized at
   /// kDefaultCapacity; dedicated instances are for tests and tools.
@@ -154,14 +87,5 @@ class ResultCache {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::size_t> size_{0};
 };
-
-/// The cache-aware solve primitive `run()` and `BatchSolver` share: applies
-/// `params.cache` against `cache`, solving through `timed_solve` on a miss.
-/// Pass the problem's digest when the caller already computed it (the batch
-/// engine digests each distinct problem once); kError results are never
-/// stored.
-[[nodiscard]] SolveResult cached_solve(const Solver& solver, const core::Problem& problem,
-                                       const SolveParams& params, ResultCache& cache,
-                                       const std::optional<core::Digest>& problem_digest = {});
 
 }  // namespace mf::solve

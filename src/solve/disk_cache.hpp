@@ -1,0 +1,74 @@
+// The persistent cache backend: a directory of solve-result entries that
+// survives the process, so figure campaigns restart warm and cooperating
+// shard processes on one host reuse each other's solves.
+//
+// Each entry is one text file named by the key's 128-bit digest
+// (32 hex chars + ".mfc"), holding a version header, the *full* canonical
+// `CacheKey` (so lookups verify identity field-by-field — a filename
+// collision degrades to a miss, never a wrong result), and the
+// `SolveResult` with every double serialized as a C99 hexfloat — the same
+// bit-exact convention the shard files use, so a restored result is
+// bit-for-bit the result that was stored.
+//
+// Robustness over cleverness: a corrupt, truncated, or version-mismatched
+// entry file is treated as a miss (re-solve and overwrite), never a crash.
+// Writes are crash-safe — serialize to a unique temp file in the same
+// directory, then `rename(2)` into place — so concurrent writers (pool
+// threads, or whole shard processes sharing one --cache-dir) can race on a
+// key and readers still only ever observe a complete entry. A failed write
+// costs a future miss, never corruption.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "solve/cache_backend.hpp"
+
+namespace mf::solve {
+
+/// Serializes one entry (key + result) into the on-disk text format.
+[[nodiscard]] std::string entry_to_text(const CacheKey& key, const SolveResult& result);
+
+/// Parses an entry file's content; nullopt on any malformation (bad header,
+/// truncation, unparsable field) — the caller treats that as a miss.
+[[nodiscard]] std::optional<std::pair<CacheKey, SolveResult>> entry_from_text(
+    const std::string& text);
+
+class DiskCache final : public CacheBackend {
+ public:
+  /// Creates `directory` (and parents) when absent; throws when the path
+  /// exists but is not a directory or cannot be created.
+  explicit DiskCache(std::filesystem::path directory);
+
+  DiskCache(const DiskCache&) = delete;
+  DiskCache& operator=(const DiskCache&) = delete;
+
+  [[nodiscard]] std::optional<SolveResult> lookup(const CacheKey& key) override;
+  void insert(const CacheKey& key, const SolveResult& result) override;
+  /// `size` counts the entry files currently in the directory (a scan — the
+  /// directory is shared with other processes, so no resident counter can
+  /// be authoritative). Evictions are always 0: the store never evicts.
+  [[nodiscard]] CacheStats stats() const override;
+  /// Removes every entry file (and stale temp files) in the directory.
+  void clear() override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept { return dir_; }
+
+  /// The entry file name for a key: 32 lowercase hex chars of the key
+  /// digest (hash_hi first) plus ".mfc".
+  [[nodiscard]] static std::string entry_filename(const CacheKey& key);
+
+ private:
+  std::filesystem::path dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> temp_serial_{0};
+};
+
+}  // namespace mf::solve

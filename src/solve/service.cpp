@@ -1,0 +1,300 @@
+#include "solve/service.hpp"
+
+#include <exception>
+#include <map>
+#include <utility>
+
+#include "core/digest.hpp"
+#include "solve/cache.hpp"
+#include "solve/registry.hpp"
+#include "support/check.hpp"
+
+namespace mf::solve {
+
+namespace {
+
+/// Process-wide accumulators behind `SolveService::process_stats()`: sweeps
+/// build one short-lived service per batch, so per-instance counters alone
+/// would vanish with the batch.
+struct ProcessCounters {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> solved{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> dedup_joined{0};
+};
+
+ProcessCounters& process_counters() {
+  static ProcessCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+SolveService::SolveService(support::ThreadPool* pool, CacheBackend* cache)
+    : pool_(pool), cache_(cache != nullptr ? cache : &ResultCache::global()) {}
+
+SolveService::~SolveService() {
+  std::unique_lock lock(outstanding_mutex_);
+  outstanding_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void SolveService::enqueue(support::UniqueFunction task) {
+  if (pool_ == nullptr) {
+    // Serial mode: the solve completes before submit() returns, so the
+    // caller's future is already ready — results are identical either way.
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(outstanding_mutex_);
+    ++outstanding_;
+  }
+  try {
+    pool_->post([this, task = std::move(task)]() mutable {
+      task();
+      finish_task();
+    });
+  } catch (...) {
+    // The task never reached the queue (pool stopping, allocation failure):
+    // roll the count back or the destructor waits forever.
+    finish_task();
+    throw;
+  }
+}
+
+void SolveService::finish_task() {
+  std::lock_guard lock(outstanding_mutex_);
+  --outstanding_;
+  if (outstanding_ == 0) outstanding_cv_.notify_all();
+}
+
+SolveResult SolveService::execute(const Solver& solver, const core::Problem& problem,
+                                  const SolveParams& params,
+                                  const std::optional<CacheKey>& key) {
+  try {
+    if (key.has_value()) {
+      if (std::optional<SolveResult> hit = cache_->lookup(*key)) {
+        hit->diagnostics.cache_hit = true;
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        process_counters().cache_hits.fetch_add(1, std::memory_order_relaxed);
+        return *std::move(hit);
+      }
+    }
+    SolveResult result = timed_solve(solver, problem, params);
+    solved_.fetch_add(1, std::memory_order_relaxed);
+    process_counters().solved.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  } catch (const std::exception& error) {
+    SolveResult failed;
+    failed.status = Status::kError;
+    failed.diagnostics.solver_id = solver.id();
+    failed.diagnostics.scenario = params.scenario;
+    failed.diagnostics.note = error.what();
+    return failed;
+  } catch (...) {
+    SolveResult failed;
+    failed.status = Status::kError;
+    failed.diagnostics.solver_id = solver.id();
+    failed.diagnostics.scenario = params.scenario;
+    failed.diagnostics.note = "unknown exception";
+    return failed;
+  }
+}
+
+void SolveService::run_flight(const CacheKey& key, const SolveRequest& request,
+                              const Solver& solver) {
+  SolveResult result = execute(solver, *request.problem, request.params, key);
+
+  // Populate the backend BEFORE detaching the flight — the order is what
+  // upholds "at most one solve per identity": a twin arriving during the
+  // insert still joins the flight, and one arriving after the detach finds
+  // the entry already stored. Write-through happens when ANY waiter asked
+  // for read-write (a kRead leader must not veto a kReadWrite joiner), and
+  // `write_through` only ever flips false→true under the mutex, so the
+  // re-check below settles in at most two rounds.
+  const bool storable =
+      !result.diagnostics.cache_hit && result.status != Status::kError;
+  std::vector<std::promise<SolveResult>> waiters;
+  bool stored = false;
+  for (;;) {
+    {
+      std::lock_guard lock(flights_mutex_);
+      const auto it = flights_.find(key);
+      MF_CHECK(it != flights_.end(), "flight vanished before completion");
+      if (!(storable && it->second->write_through && !stored)) {
+        waiters = std::move(it->second->waiters);
+        flights_.erase(it);
+        break;
+      }
+    }
+    cache_->insert(key, result);
+    stored = true;
+  }
+  for (std::size_t w = 0; w < waiters.size(); ++w) {
+    // The leader (waiter 0) computed it; everyone later shared the flight.
+    // The last waiter takes the result by move — in the common no-twin
+    // case that is the only waiter, and nothing is deep-copied.
+    if (w + 1 == waiters.size()) {
+      result.diagnostics.dedup_joined = w > 0;
+      waiters[w].set_value(std::move(result));
+    } else {
+      SolveResult copy = result;
+      copy.diagnostics.dedup_joined = w > 0;
+      waiters[w].set_value(std::move(copy));
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    process_counters().completed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::future<SolveResult> SolveService::submit_resolved(
+    SolveRequest request, std::shared_ptr<const Solver> solver,
+    std::optional<core::Digest> digest) {
+  MF_REQUIRE(request.problem != nullptr, "solve request needs a problem");
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  process_counters().submitted.fetch_add(1, std::memory_order_relaxed);
+
+  std::promise<SolveResult> promise;
+  std::future<SolveResult> future = promise.get_future();
+
+  if (request.params.cache == CachePolicy::kOff) {
+    // No key, no dedup: an uncacheable request demands its own solve.
+    enqueue([this, request = std::move(request), solver = std::move(solver),
+             promise = std::move(promise)]() mutable {
+      promise.set_value(execute(*solver, *request.problem, request.params, std::nullopt));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      process_counters().completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    return future;
+  }
+
+  CacheKey key = make_cache_key(
+      digest.has_value() ? *digest : core::digest(*request.problem), solver->id(),
+      request.params);
+  const bool write_through = request.params.cache == CachePolicy::kReadWrite;
+  {
+    std::lock_guard lock(flights_mutex_);
+    if (const auto it = flights_.find(key); it != flights_.end()) {
+      // Single-flight: attach to the identical in-flight solve. The shared
+      // result is bit-for-bit what this request would compute — the key is
+      // the full solve identity.
+      it->second->waiters.push_back(std::move(promise));
+      it->second->write_through |= write_through;
+      dedup_joined_.fetch_add(1, std::memory_order_relaxed);
+      process_counters().dedup_joined.fetch_add(1, std::memory_order_relaxed);
+      return future;
+    }
+    auto flight = std::make_shared<Flight>();
+    flight->waiters.push_back(std::move(promise));
+    flight->write_through = write_through;
+    flights_.emplace(key, std::move(flight));
+  }
+  try {
+    // `key` is captured by copy: the catch block below still needs it to
+    // retract the flight when the enqueue itself fails.
+    enqueue([this, key, request = std::move(request),
+             solver = std::move(solver)]() mutable {
+      run_flight(key, request, *solver);
+    });
+  } catch (...) {
+    // The leader's task never got queued: retract the flight and deliver
+    // the failure through every waiter's future (a twin may have joined
+    // between the emplace and here) instead of leaving them to hang.
+    std::vector<std::promise<SolveResult>> waiters;
+    {
+      std::lock_guard lock(flights_mutex_);
+      // enqueue() can only throw before the task runs, so the flight is
+      // still registered — run_flight is what removes it.
+      const auto it = flights_.find(key);
+      MF_CHECK(it != flights_.end(), "failed flight vanished before retraction");
+      waiters = std::move(it->second->waiters);
+      flights_.erase(it);
+    }
+    const std::exception_ptr error = std::current_exception();
+    for (std::promise<SolveResult>& waiter : waiters) waiter.set_exception(error);
+  }
+  return future;
+}
+
+std::future<SolveResult> SolveService::submit(SolveRequest request) {
+  MF_REQUIRE(request.problem != nullptr, "solve request needs a problem");
+  // Resolve before queueing anything: an unknown solver id throws (with the
+  // list of known ids) on the caller's thread, not inside a future.
+  std::shared_ptr<const Solver> solver = SolverRegistry::instance().resolve(
+      effective_solver_id(request.solver_id, request.params));
+  return submit_resolved(std::move(request), std::move(solver), std::nullopt);
+}
+
+std::vector<SolveResult> SolveService::solve_all(
+    const std::vector<SolveRequest>& requests) {
+  const SolverRegistry& registry = SolverRegistry::instance();
+
+  // Resolve everything before launching work: an unknown solver id or a
+  // null problem fails the whole batch up front instead of mid-flight.
+  // Resolution is deduped by effective id — a sweep batch has thousands of
+  // requests but a handful of distinct ids, and each resolve takes the
+  // registry mutex (and allocates a fresh wrapper for "+ls" composites).
+  std::map<std::string, std::shared_ptr<const Solver>> resolved;
+  std::vector<std::shared_ptr<const Solver>> solvers;
+  solvers.reserve(requests.size());
+  for (const SolveRequest& request : requests) {
+    MF_REQUIRE(request.problem != nullptr, "batch request needs a problem");
+    const std::string id = effective_solver_id(request.solver_id, request.params);
+    auto [it, inserted] = resolved.try_emplace(id);
+    if (inserted) it->second = registry.resolve(id);
+    solvers.push_back(it->second);
+  }
+
+  // Digest each distinct problem once, up front: requests of a paired trial
+  // share one instance, so per-request digesting would redo O(n*m) hashing
+  // methods-count times.
+  std::map<const core::Problem*, core::Digest> digests;
+  for (const SolveRequest& request : requests) {
+    if (request.params.cache == CachePolicy::kOff) continue;
+    const core::Problem* problem = request.problem.get();
+    if (!digests.contains(problem)) digests.emplace(problem, core::digest(*problem));
+  }
+
+  std::vector<std::future<SolveResult>> futures;
+  futures.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    SolveRequest request = requests[i];
+    if (request.derive_stream_seed) {
+      request.params.seed = stream_seed(request.params.seed, i);
+    }
+    std::optional<core::Digest> digest;
+    if (request.params.cache != CachePolicy::kOff) {
+      digest = digests.at(request.problem.get());
+    }
+    futures.push_back(submit_resolved(std::move(request), solvers[i], std::move(digest)));
+  }
+
+  std::vector<SolveResult> results;
+  results.reserve(requests.size());
+  for (std::future<SolveResult>& future : futures) results.push_back(future.get());
+  return results;
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.solved = solved_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.dedup_joined = dedup_joined_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ServiceStats SolveService::process_stats() {
+  const ProcessCounters& counters = process_counters();
+  ServiceStats stats;
+  stats.submitted = counters.submitted.load(std::memory_order_relaxed);
+  stats.completed = counters.completed.load(std::memory_order_relaxed);
+  stats.solved = counters.solved.load(std::memory_order_relaxed);
+  stats.cache_hits = counters.cache_hits.load(std::memory_order_relaxed);
+  stats.dedup_joined = counters.dedup_joined.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace mf::solve

@@ -100,7 +100,9 @@ struct SolveResult {
     double refiner_improvement_ms = 0.0;  ///< period reduction from "+ls"
     std::size_t refiner_moves = 0;        ///< moves the refiner applied
     bool refiner_converged = false;  ///< refiner hit a local optimum (vs pass budget)
-    bool cache_hit = false;  ///< result was served from the ResultCache, not re-solved
+    bool cache_hit = false;  ///< result was served from the result cache, not re-solved
+    bool dedup_joined = false;  ///< result was shared from a concurrent identical
+                                ///< in-flight solve (SolveService single-flight)
     std::string scenario;  ///< scenario/model id from SolveParams::scenario ("" = direct)
     std::string note;                  ///< human-readable detail (why infeasible, ...)
   };

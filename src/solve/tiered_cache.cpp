@@ -1,0 +1,49 @@
+#include "solve/tiered_cache.hpp"
+
+#include <utility>
+
+namespace mf::solve {
+
+std::optional<SolveResult> TieredCache::lookup(const CacheKey& key) {
+  if (std::optional<SolveResult> hit = fast_.lookup(key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+  if (std::optional<SolveResult> hit = slow_.lookup(key)) {
+    // Promote: the next lookup for this key never touches the slow layer.
+    fast_.insert(key, *hit);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void TieredCache::insert(const CacheKey& key, const SolveResult& result) {
+  fast_.insert(key, result);
+  slow_.insert(key, result);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CacheStats TieredCache::stats() const {
+  const CacheStats fast = fast_.stats();
+  const CacheStats slow = slow_.stats();
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = fast.evictions + slow.evictions;
+  stats.size = fast.size + slow.size;
+  return stats;
+}
+
+void TieredCache::clear() {
+  fast_.clear();
+  slow_.clear();
+}
+
+std::string TieredCache::describe() const {
+  return "tiered(" + fast_.describe() + " over " + slow_.describe() + ")";
+}
+
+}  // namespace mf::solve

@@ -1,0 +1,47 @@
+// Memory-over-disk cache composition: the hot path of a long-running
+// service stays in the sharded in-memory LRU while every result also lands
+// in the persistent store, so a restarted process — or a sibling shard
+// process pointed at the same --cache-dir — re-solves nothing it has seen.
+//
+// Lookup tries the fast layer first; a slow-layer hit is promoted into the
+// fast layer on the way out, so one disk read per entry per process is the
+// steady state. Inserts write through to both layers. The composite is
+// non-owning: callers keep both backends alive for its lifetime (the CLI
+// layers the process-wide `ResultCache::global()` over a `DiskCache`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "solve/cache_backend.hpp"
+
+namespace mf::solve {
+
+class TieredCache final : public CacheBackend {
+ public:
+  /// `fast` answers first (typically `ResultCache`); `slow` persists
+  /// (typically `DiskCache`). Both must outlive the composite.
+  TieredCache(CacheBackend& fast, CacheBackend& slow) : fast_(fast), slow_(slow) {}
+
+  TieredCache(const TieredCache&) = delete;
+  TieredCache& operator=(const TieredCache&) = delete;
+
+  [[nodiscard]] std::optional<SolveResult> lookup(const CacheKey& key) override;
+  void insert(const CacheKey& key, const SolveResult& result) override;
+  /// Hit/miss/insert counters are the composite's own (one lookup here is
+  /// one logical lookup, wherever it was answered); size and evictions are
+  /// summed over the layers.
+  [[nodiscard]] CacheStats stats() const override;
+  void clear() override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  CacheBackend& fast_;
+  CacheBackend& slow_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+};
+
+}  // namespace mf::solve

@@ -37,15 +37,25 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  auto future = packaged.get_future();
+void ThreadPool::post(UniqueFunction task) {
+  // Reject emptiness here, on the caller's thread — invoking an empty
+  // UniqueFunction on a worker would be a null dereference.
+  MF_REQUIRE(static_cast<bool>(task), "post needs a non-empty task");
   {
     std::lock_guard lock(mutex_);
-    MF_CHECK(!stopping_, "submit on a stopping pool");
-    queue_.push_back(std::move(packaged));
+    MF_CHECK(!stopping_, "post on a stopping pool");
+    queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+std::future<void> ThreadPool::submit(UniqueFunction task) {
+  MF_REQUIRE(static_cast<bool>(task), "submit needs a non-empty task");
+  // packaged_task supplies the exception-capturing future; UniqueFunction
+  // carries it through the queue (both are move-only callables).
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  post(std::move(packaged));
   return future;
 }
 
@@ -56,7 +66,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    UniqueFunction task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -65,7 +75,8 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();  // exceptions are captured in the packaged_task's future
+    task();  // submit() tasks capture exceptions in their future; post()
+             // tasks must not throw (an escape here terminates)
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

@@ -1,0 +1,346 @@
+// Tests for the persistent on-disk cache backend and the memory-over-disk
+// tier: entry round-trips are bit-exact, a fresh DiskCache instance (the
+// stand-in for a fresh process) serves what a prior one stored, and the
+// robustness contract holds — corrupt, truncated, or version-mismatched
+// entry files are misses, never crashes, and concurrent writers on one
+// directory never produce a torn entry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/digest.hpp"
+#include "exp/scenario.hpp"
+#include "solve/cache.hpp"
+#include "solve/disk_cache.hpp"
+#include "solve/registry.hpp"
+#include "solve/tiered_cache.hpp"
+
+namespace mf::solve {
+namespace {
+
+core::Problem small_problem(std::uint64_t seed = 7) {
+  exp::Scenario scenario;
+  scenario.tasks = 8;
+  scenario.machines = 4;
+  scenario.types = 2;
+  return exp::generate(scenario, seed);
+}
+
+/// Fresh scratch directory per test, removed on teardown.
+class DiskCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mf-disk-cache-test-" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+/// A stored, solved entry to exercise round-trips with: H1 is randomized,
+/// so the result meaningfully depends on the seed in the key.
+struct StoredEntry {
+  CacheKey key;
+  SolveResult result;
+};
+
+StoredEntry solve_and_store(DiskCache& cache, std::uint64_t seed = 3) {
+  const core::Problem problem = small_problem();
+  const auto solver = SolverRegistry::instance().resolve("H1");
+  SolveParams params;
+  params.seed = seed;
+  params.cache = CachePolicy::kReadWrite;
+  const SolveResult result = cached_solve(*solver, problem, params, cache);
+  return {make_cache_key(core::digest(problem), solver->id(), params), result};
+}
+
+TEST_F(DiskCacheTest, EntryTextRoundTripsBitForBit) {
+  DiskCache cache(dir_);
+  const StoredEntry stored = solve_and_store(cache);
+
+  const std::string text = entry_to_text(stored.key, stored.result);
+  const auto parsed = entry_from_text(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->first == stored.key);
+  EXPECT_EQ(parsed->second.status, stored.result.status);
+  EXPECT_EQ(parsed->second.mapping, stored.result.mapping);
+  // Bit-exact, not approximately-equal: hexfloat serialization must not
+  // lose a single mantissa bit.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed->second.period),
+            std::bit_cast<std::uint64_t>(stored.result.period));
+  EXPECT_EQ(parsed->second.diagnostics.solver_id, stored.result.diagnostics.solver_id);
+  EXPECT_EQ(parsed->second.diagnostics.nodes_explored,
+            stored.result.diagnostics.nodes_explored);
+}
+
+TEST_F(DiskCacheTest, FreshInstanceServesAPriorInstancesEntries) {
+  // The fresh-process scenario: one DiskCache writes, a brand-new DiskCache
+  // on the same directory (no shared state) must serve the result.
+  CacheKey key;
+  SolveResult original;
+  {
+    DiskCache writer(dir_);
+    const StoredEntry stored = solve_and_store(writer);
+    key = stored.key;
+    original = stored.result;
+    EXPECT_EQ(writer.stats().insertions, 1u);
+  }
+  DiskCache reader(dir_);
+  const auto hit = reader.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->mapping, original.mapping);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(hit->period),
+            std::bit_cast<std::uint64_t>(original.period));
+  EXPECT_EQ(reader.stats().hits, 1u);
+}
+
+TEST_F(DiskCacheTest, CachedSolveThroughFreshInstanceIsACrossProcessWarmHit) {
+  const core::Problem problem = small_problem();
+  const auto solver = SolverRegistry::instance().resolve("H1");
+  SolveParams params;
+  params.seed = 11;
+  params.cache = CachePolicy::kReadWrite;
+
+  SolveResult cold;
+  {
+    DiskCache first_process(dir_);
+    cold = cached_solve(*solver, problem, params, first_process);
+    EXPECT_FALSE(cold.diagnostics.cache_hit);
+  }
+  DiskCache second_process(dir_);
+  const SolveResult warm = cached_solve(*solver, problem, params, second_process);
+  EXPECT_TRUE(warm.diagnostics.cache_hit);
+  EXPECT_EQ(warm.status, cold.status);
+  EXPECT_EQ(warm.mapping, cold.mapping);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(warm.period),
+            std::bit_cast<std::uint64_t>(cold.period));
+}
+
+TEST_F(DiskCacheTest, MissOnEmptyDirectoryAndDistinctKeys) {
+  DiskCache cache(dir_);
+  const StoredEntry stored = solve_and_store(cache, 3);
+  SolveParams other;
+  other.seed = 4;  // different seed, different identity
+  other.cache = CachePolicy::kReadWrite;
+  const CacheKey other_key =
+      make_cache_key(stored.key.problem, stored.key.solver_id, other);
+  EXPECT_FALSE(cache.lookup(other_key).has_value());
+  EXPECT_TRUE(cache.lookup(stored.key).has_value());
+}
+
+TEST_F(DiskCacheTest, CorruptEntryIsAMissNotACrash) {
+  DiskCache cache(dir_);
+  const StoredEntry stored = solve_and_store(cache);
+  const std::filesystem::path path = dir_ / DiskCache::entry_filename(stored.key);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  {
+    std::ofstream out(path);
+    out << "not a cache entry at all\x01\x02 garbage";
+  }
+  EXPECT_FALSE(cache.lookup(stored.key).has_value());
+}
+
+TEST_F(DiskCacheTest, TruncatedEntryIsAMiss) {
+  DiskCache cache(dir_);
+  const StoredEntry stored = solve_and_store(cache);
+  const std::filesystem::path path = dir_ / DiskCache::entry_filename(stored.key);
+  std::string full;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    full = buffer.str();
+  }
+  // Chop the file anywhere — including right before the "end" sentinel —
+  // and the entry must read as a miss.
+  for (const double fraction : {0.25, 0.5, 0.9}) {
+    {
+      std::ofstream out(path, std::ios::trunc);
+      out << full.substr(0, static_cast<std::size_t>(full.size() * fraction));
+    }
+    EXPECT_FALSE(cache.lookup(stored.key).has_value()) << "fraction " << fraction;
+  }
+  // Even with everything but the sentinel intact: a writer died mid-write.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << full.substr(0, full.size() - 4);
+  }
+  EXPECT_FALSE(cache.lookup(stored.key).has_value());
+}
+
+TEST_F(DiskCacheTest, VersionMismatchedEntryIsIgnored) {
+  DiskCache cache(dir_);
+  const StoredEntry stored = solve_and_store(cache);
+  const std::filesystem::path path = dir_ / DiskCache::entry_filename(stored.key);
+  std::string full;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    full = buffer.str();
+  }
+  const std::size_t version = full.find("v1");
+  ASSERT_NE(version, std::string::npos);
+  full.replace(version, 2, "v9");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << full;
+  }
+  EXPECT_FALSE(cache.lookup(stored.key).has_value())
+      << "a future format version must read as a miss, not be misparsed";
+}
+
+TEST_F(DiskCacheTest, MisfiledEntryFailsKeyVerification) {
+  DiskCache cache(dir_);
+  const StoredEntry a = solve_and_store(cache, 3);
+  SolveParams params;
+  params.seed = 99;
+  params.cache = CachePolicy::kReadWrite;
+  const CacheKey other = make_cache_key(a.key.problem, a.key.solver_id, params);
+  // Simulate a filename collision (or a hand-copied file): entry content
+  // for key A sitting under key B's filename must not answer B.
+  std::filesystem::copy_file(dir_ / DiskCache::entry_filename(a.key),
+                             dir_ / DiskCache::entry_filename(other));
+  EXPECT_FALSE(cache.lookup(other).has_value());
+}
+
+TEST_F(DiskCacheTest, ConcurrentWritersNeverProduceATornEntry) {
+  DiskCache cache(dir_);
+  const core::Problem problem = small_problem();
+  const core::Digest digest = core::digest(problem);
+
+  // Many threads hammer a handful of keys — including all of them racing on
+  // the SAME key — while readers poll. Every lookup must return either a
+  // miss or a complete, key-verified entry; afterwards every file parses.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kKeys = 4;
+  constexpr std::size_t kRounds = 50;
+  std::vector<StoredEntry> entries;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    SolveParams params;
+    params.seed = k;
+    params.cache = CachePolicy::kReadWrite;
+    const auto solver = SolverRegistry::instance().resolve("H1");
+    entries.push_back({make_cache_key(digest, solver->id(), params),
+                       timed_solve(*solver, problem, params)});
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        const StoredEntry& entry = entries[(t + round) % kKeys];
+        cache.insert(entry.key, entry.result);
+        if (const auto hit = cache.lookup(entry.key)) {
+          // A concurrent overwrite may serve either complete version, but
+          // never a torn mix; here all writers store identical content.
+          EXPECT_EQ(hit->mapping, entry.result.mapping);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::size_t files = 0;
+  for (const auto& entry_file : std::filesystem::directory_iterator(dir_)) {
+    if (entry_file.path().extension() != ".mfc") continue;
+    ++files;
+    std::ifstream in(entry_file.path());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_TRUE(entry_from_text(buffer.str()).has_value())
+        << entry_file.path() << " is torn";
+  }
+  EXPECT_EQ(files, kKeys);
+  // No temp litter left behind by the rename dance.
+  for (const auto& entry_file : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry_file.path().extension(), ".mfc") << entry_file.path();
+  }
+}
+
+TEST_F(DiskCacheTest, ClearRemovesEntries) {
+  DiskCache cache(dir_);
+  const StoredEntry stored = solve_and_store(cache);
+  EXPECT_EQ(cache.stats().size, 1u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_FALSE(cache.lookup(stored.key).has_value());
+}
+
+TEST_F(DiskCacheTest, TieredPromotesDiskHitsIntoMemory) {
+  ResultCache memory(64);
+  DiskCache disk(dir_);
+  {
+    // Populate the disk layer only (a "previous process").
+    DiskCache writer(dir_);
+    solve_and_store(writer);
+  }
+  const StoredEntry stored = [&] {
+    const core::Problem problem = small_problem();
+    const auto solver = SolverRegistry::instance().resolve("H1");
+    SolveParams params;
+    params.seed = 3;
+    params.cache = CachePolicy::kReadWrite;
+    return StoredEntry{make_cache_key(core::digest(problem), solver->id(), params), {}};
+  }();
+
+  TieredCache tiered(memory, disk);
+  EXPECT_EQ(memory.stats().size, 0u);
+  ASSERT_TRUE(tiered.lookup(stored.key).has_value()) << "disk layer answers";
+  EXPECT_EQ(memory.stats().size, 1u) << "hit was promoted into the memory layer";
+  // Second lookup is served by memory: the disk hit counter stays put.
+  const std::uint64_t disk_hits = disk.stats().hits;
+  ASSERT_TRUE(tiered.lookup(stored.key).has_value());
+  EXPECT_EQ(disk.stats().hits, disk_hits);
+  EXPECT_EQ(tiered.stats().hits, 2u);
+  EXPECT_EQ(tiered.stats().misses, 0u);
+}
+
+TEST_F(DiskCacheTest, TieredInsertWritesThroughToBothLayers) {
+  ResultCache memory(64);
+  DiskCache disk(dir_);
+  TieredCache tiered(memory, disk);
+
+  const core::Problem problem = small_problem();
+  const auto solver = SolverRegistry::instance().resolve("H2");
+  SolveParams params;
+  params.cache = CachePolicy::kReadWrite;
+  const SolveResult result = cached_solve(*solver, problem, params, tiered);
+  EXPECT_FALSE(result.diagnostics.cache_hit);
+  EXPECT_EQ(memory.stats().size, 1u);
+  EXPECT_EQ(disk.stats().size, 1u);
+
+  // A fresh memory layer over the same disk directory — the restart — still
+  // answers without a solve.
+  ResultCache fresh_memory(64);
+  DiskCache fresh_disk(dir_);
+  TieredCache restarted(fresh_memory, fresh_disk);
+  const SolveResult warm = cached_solve(*solver, problem, params, restarted);
+  EXPECT_TRUE(warm.diagnostics.cache_hit);
+  EXPECT_EQ(warm.mapping, result.mapping);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(warm.period),
+            std::bit_cast<std::uint64_t>(result.period));
+}
+
+TEST_F(DiskCacheTest, DescribeNamesTheLayers) {
+  ResultCache memory(128);
+  DiskCache disk(dir_);
+  TieredCache tiered(memory, disk);
+  EXPECT_EQ(disk.describe(), "disk(" + dir_.string() + ")");
+  EXPECT_EQ(tiered.describe(),
+            "tiered(memory-lru(128) over disk(" + dir_.string() + "))");
+}
+
+}  // namespace
+}  // namespace mf::solve

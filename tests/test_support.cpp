@@ -6,8 +6,11 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
 #include "support/check.hpp"
 #include "support/cli.hpp"
@@ -251,6 +254,42 @@ TEST(ThreadPool, WaitIdleDrainsQueue) {
   }
   pool.wait_idle();
   EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, SubmitAcceptsMoveOnlyCallables) {
+  // The reason tasks are UniqueFunction, not std::function: a task that
+  // OWNS move-only state (a unique_ptr here, a std::promise in the solve
+  // service) must be enqueueable directly, with no shared_ptr shim.
+  ThreadPool pool(2);
+  auto payload = std::make_unique<int>(41);
+  std::atomic<int> observed{0};
+  auto future = pool.submit([payload = std::move(payload), &observed] {
+    observed.store(*payload + 1);
+  });
+  future.get();
+  EXPECT_EQ(observed.load(), 42);
+}
+
+TEST(ThreadPool, PostDeliversThroughAMovedPromise) {
+  ThreadPool pool(2);
+  std::promise<int> promise;
+  std::future<int> future = promise.get_future();
+  pool.post([promise = std::move(promise)]() mutable { promise.set_value(7); });
+  EXPECT_EQ(future.get(), 7);
+}
+
+TEST(UniqueFunctionTest, InvokesAndReportsEmptiness) {
+  UniqueFunction empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  int calls = 0;
+  UniqueFunction counted([&] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(counted));
+  counted();
+  counted();
+  EXPECT_EQ(calls, 2);
+  UniqueFunction moved = std::move(counted);
+  moved();
+  EXPECT_EQ(calls, 3);
 }
 
 TEST(Table, RendersAlignedColumns) {
