@@ -13,8 +13,21 @@
 //           [--cache-dir DIR] [--cache-stats]
 //           [--repeat R] [--shard i/N [--out shard-file]]
 //   mfsched --merge <shard-file>...
+//   mfsched --dispatch N --figure NAME [--launcher local|cmd:<template>]
+//           [--retries K] [--dispatch-dir DIR] [--dispatch-timeout SECONDS]
+//   mfsched --cache-gc SIZE --cache-dir DIR
 //   mfsched --serve-demo [--requests N] [--distinct K] [--method ID]
 //           [--cache-dir DIR]
+//
+// `--dispatch N` is the hands-off spelling of a shard+merge campaign: it
+// launches N `mfsched --shard i/N` worker processes (locally by fork/exec,
+// or through a `--launcher cmd:<template>` shell wrapper for ssh-style
+// remotes), supervises them, retries failed or wedged shards up to
+// `--retries` times each, collects the shard files under `--dispatch-dir`,
+// and merges — the resulting table is byte-identical to the unsharded run.
+// `--cache-gc SIZE` shrinks a shared `--cache-dir` to the byte cap,
+// evicting least-recently-used entries first, so long campaigns can point
+// every worker at one directory indefinitely.
 //
 // `--method` accepts every registered solver id (try `--list`): the paper
 // heuristics H1..H4f, the exact solvers bnb / mip / brute, the one-to-one
@@ -47,9 +60,14 @@
 // answers bit-identical — with the counters to show who was answered by a
 // shared flight vs. the cache.
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -59,6 +77,7 @@
 
 #include "core/evaluation.hpp"
 #include "core/io.hpp"
+#include "exp/dispatch.hpp"
 #include "exp/figures.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
@@ -87,8 +106,14 @@ int usage(const char* program) {
       "          [--cache-dir DIR] [--cache-stats]\n"
       "          [--repeat R] [--shard i/N [--out shard-file]]\n"
       "       %s --merge <shard-file>...\n"
+      "       %s --dispatch N --figure NAME [--launcher local|cmd:<template>]\n"
+      "          [--retries K] [--dispatch-dir DIR] [--dispatch-timeout SECONDS]\n"
+      "          [--inject-shard-failure I] [--scale K] [--scenario ID] [--seed S]\n"
+      "          [--cache MODE] [--cache-dir DIR] [--out FILE]\n"
+      "       %s --cache-gc SIZE --cache-dir DIR\n"
       "       %s --serve-demo [--requests N] [--distinct K] [--method ID]\n"
       "          [--cache-dir DIR]\n"
+      "       %s --help\n"
       "--list            prints every registered solver id\n"
       "--list-scenarios  prints every registered failure-model scenario id\n"
       "--demo            writes demo_problem.txt instead of scheduling\n"
@@ -96,12 +121,23 @@ int usage(const char* program) {
       "--scenario        draws the sweep's instances under this failure model (%s)\n"
       "--shard           runs only slice i of N and writes a shard file for --merge\n"
       "--merge           recombines shard files into the full sweep table\n"
+      "--dispatch        launches N shard worker processes, supervises them,\n"
+      "                  retries failures (--retries per shard, --dispatch-timeout\n"
+      "                  kills wedged workers), and merges — byte-identical to the\n"
+      "                  unsharded table; --launcher cmd:<template> wraps each\n"
+      "                  worker command ({CMD}) for ssh/k8s-style remotes\n"
       "--cache-dir       persistent on-disk result cache layered under memory\n"
       "                  (implies --cache rw unless overridden); a fresh process\n"
       "                  pointed at a populated dir re-solves nothing\n"
+      "--cache-gc        shrinks --cache-dir to SIZE bytes (K/M/G suffixes),\n"
+      "                  evicting least-recently-used entries first\n"
       "--cache-stats     prints cache + solve-service counters after the run\n"
-      "--serve-demo      concurrent request replay proving single-flight dedup\n",
-      program, program, program, program, program, program,
+      "--serve-demo      concurrent request replay proving single-flight dedup\n"
+      "--fail-marker     testing hook: fail the run once, creating FILE; a rerun\n"
+      "                  that finds FILE proceeds (exercises dispatch retries)\n"
+      "--inject-shard-failure  testing hook: pass --fail-marker to shard I's\n"
+      "                  first dispatch attempt\n",
+      program, program, program, program, program, program, program, program, program,
       mf::exp::figure_spec_names().c_str(), mf::exp::scenario_ids().c_str());
   return 2;
 }
@@ -184,13 +220,19 @@ class CacheScope {
     const mf::solve::ServiceStats service = mf::solve::SolveService::process_stats();
     std::printf(
         "cache [%s]: %llu hits / %llu misses (%.1f%% hit rate), %llu evictions, "
-        "%zu resident\n",
+        "%zu resident",
         backend_->describe().c_str(),
         static_cast<unsigned long long>(now.hits - cache_before_.hits),
         static_cast<unsigned long long>(now.misses - cache_before_.misses),
         100.0 * delta_hit_rate(now),
         static_cast<unsigned long long>(now.evictions - cache_before_.evictions),
         now.size);
+    // Entry/byte totals only exist for persistent backends; keep the
+    // memory-only line unchanged.
+    if (now.bytes > 0) {
+      std::printf(" (%llu bytes on disk)", static_cast<unsigned long long>(now.bytes));
+    }
+    std::printf("\n");
     mf::solve::ServiceStats delta;
     delta.submitted = service.submitted - service_before_.submitted;
     delta.cache_hits = service.cache_hits - service_before_.cache_hits;
@@ -224,13 +266,43 @@ void print_sweep(const mf::exp::SweepResult& result) {
   std::printf("%s\n", result.to_chart().c_str());
 }
 
+/// The one spelling of a sweep's `--out` file. The unsharded and the
+/// dispatched path must write identical bytes — CI diffs their files to
+/// prove campaign bit-exactness — so both funnel through this helper.
+bool write_sweep_file(const mf::exp::SweepResult& result, const std::string& out) {
+  std::ofstream file(out);
+  file << result.to_table().to_string() << "\n" << result.to_chart() << "\n";
+  file.flush();
+  if (!file.good()) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return false;
+  }
+  std::printf("table written to %s\n", out.c_str());
+  return true;
+}
+
 /// Reads a positive integer flag, clamping zero/negative values to 1 (a
 /// negative value cast to size_t would otherwise mean ~2^64 repeats).
 std::size_t get_positive(const mf::support::CliArgs& args, const std::string& name) {
   return static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int(name, 1)));
 }
 
+/// Testing hook for the dispatcher's retry path: `--fail-marker FILE` makes
+/// the run fail once — the first process to see a missing FILE creates it
+/// and exits nonzero; a retry finds the marker and proceeds normally.
+bool injected_failure_fires(const mf::support::CliArgs& args) {
+  const std::string marker = args.get("fail-marker", "");
+  if (marker.empty() || marker == "true") return false;
+  std::error_code ec;
+  if (std::filesystem::exists(marker, ec)) return false;
+  std::ofstream(marker).flush();
+  std::fprintf(stderr, "injected failure: created marker %s and aborting this attempt\n",
+               marker.c_str());
+  return true;
+}
+
 int run_figure(const mf::support::CliArgs& args) {
+  if (injected_failure_fires(args)) return 1;
   const std::string name = args.get("figure", "");
   std::optional<mf::exp::SweepSpec> found = mf::exp::figure_spec_by_name(name);
   if (!found.has_value()) {
@@ -317,16 +389,7 @@ int run_figure(const mf::support::CliArgs& args) {
     const mf::exp::SweepResult result = mf::exp::run_sweep(spec, options, &pool);
     print_sweep(result);
     if (wants_cache_stats(args, options.cache)) cache_scope.print_delta();
-    if (!out.empty()) {
-      std::ofstream file(out);
-      file << result.to_table().to_string() << "\n" << result.to_chart() << "\n";
-      file.flush();
-      if (!file.good()) {
-        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
-        return 1;
-      }
-      std::printf("table written to %s\n", out.c_str());
-    }
+    if (!out.empty() && !write_sweep_file(result, out)) return 1;
   }
   return 0;
 }
@@ -421,6 +484,196 @@ int run_serve_demo(const mf::support::CliArgs& args) {
   return 0;
 }
 
+/// Parses "4096", "512K", "64M", "2G" into bytes; nullopt on anything else
+/// — including negative values (strtoull would silently wrap them) and
+/// values whose suffix multiplication overflows 64 bits (a wrapped cap
+/// would make gc delete nearly everything).
+std::optional<std::uint64_t> parse_size_bytes(const std::string& text) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || errno == ERANGE) return std::nullopt;
+  const std::string suffix(end);
+  std::uint64_t multiplier = 1;
+  if (suffix == "K" || suffix == "k") {
+    multiplier = 1024ull;
+  } else if (suffix == "M" || suffix == "m") {
+    multiplier = 1024ull * 1024;
+  } else if (suffix == "G" || suffix == "g") {
+    multiplier = 1024ull * 1024 * 1024;
+  } else if (!suffix.empty()) {
+    return std::nullopt;
+  }
+  if (value > std::numeric_limits<std::uint64_t>::max() / multiplier) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(value) * multiplier;
+}
+
+/// `--cache-gc SIZE --cache-dir DIR`: shrink the persistent store to the
+/// cap, evicting least-recently-used entries (LRU by mtime; lookups
+/// refresh it), so long campaigns can share one directory indefinitely.
+int run_cache_gc(const mf::support::CliArgs& args) {
+  const std::string dir = args.get("cache-dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "error: --cache-gc needs --cache-dir DIR\n");
+    return 2;
+  }
+  const std::optional<std::uint64_t> cap = parse_size_bytes(args.get("cache-gc", ""));
+  if (!cap.has_value()) {
+    std::fprintf(stderr, "error: --cache-gc expects a size like 64M (K/M/G suffixes)\n");
+    return 2;
+  }
+  try {
+    mf::solve::DiskCache cache(dir);
+    const mf::solve::DiskGcReport report = cache.gc(*cap);
+    std::printf(
+        "cache-gc [%s]: cap %llu bytes; kept %zu entries (%llu bytes), removed %zu "
+        "entries (%llu bytes), swept %zu stale temp files\n",
+        cache.describe().c_str(), static_cast<unsigned long long>(*cap),
+        report.entries_kept, static_cast<unsigned long long>(report.bytes_kept),
+        report.entries_removed, static_cast<unsigned long long>(report.bytes_removed),
+        report.stale_temps_removed);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
+/// `--dispatch N --figure NAME`: the hands-off multi-process campaign.
+/// Launches N `mfsched --shard i/N` workers through the chosen launcher,
+/// supervises and retries them, and merges the collected shard files into
+/// the byte-identical unsharded table.
+int run_dispatch(const mf::support::CliArgs& args) {
+  const std::string name = args.get("figure", "");
+  if (name.empty() || !mf::exp::figure_spec_by_name(name).has_value()) {
+    std::fprintf(stderr, "error: --dispatch needs a known --figure NAME (%s)\n",
+                 mf::exp::figure_spec_names().c_str());
+    return 2;
+  }
+  if (args.has("shard") || args.get_int("repeat", 1) != 1) {
+    std::fprintf(stderr, "error: --dispatch drives its own shards; drop --shard/--repeat\n");
+    return 2;
+  }
+  if (args.has("scenario") &&
+      !mf::exp::ScenarioRegistry::instance().contains(args.get("scenario", ""))) {
+    std::fprintf(stderr, "error: unknown scenario '%s' (%s)\n",
+                 args.get("scenario", "").c_str(), mf::exp::scenario_ids().c_str());
+    return 2;
+  }
+  const std::int64_t shard_count = args.get_int("dispatch", 0);
+  if (shard_count < 2) {
+    std::fprintf(stderr, "error: --dispatch expects a worker count N >= 2\n");
+    return 2;
+  }
+
+  std::string launcher_error;
+  const std::unique_ptr<mf::exp::Launcher> launcher =
+      mf::exp::launcher_from_spec(args.get("launcher", "local"), &launcher_error);
+  if (launcher == nullptr) {
+    std::fprintf(stderr, "error: %s\n", launcher_error.c_str());
+    return 2;
+  }
+
+  mf::exp::DispatchOptions options;
+  options.shard_count = static_cast<std::size_t>(shard_count);
+  options.max_attempts =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("retries", 2))) + 1;
+  options.timeout_seconds = args.get_double("dispatch-timeout", 0.0);
+  options.work_dir = args.get("dispatch-dir", name + ".dispatch");
+  options.launcher = launcher.get();
+  options.observer = [](const mf::exp::DispatchEvent& event) {
+    std::printf("dispatch: shard=%zu/%zu attempt=%zu event=%s", event.shard,
+                event.shard_count, event.attempt, mf::exp::to_string(event.kind).c_str());
+    switch (event.kind) {
+      case mf::exp::DispatchEvent::Kind::kLaunch:
+        std::printf(" pid=%d log=%s", static_cast<int>(event.pid), event.detail.c_str());
+        break;
+      case mf::exp::DispatchEvent::Kind::kOk:
+        std::printf(" wall_ms=%.1f file=%s", event.wall_ms, event.detail.c_str());
+        break;
+      default:
+        std::printf(" exit=%d detail=\"%s\"", event.exit_code, event.detail.c_str());
+        break;
+    }
+    std::printf("\n");
+    std::fflush(stdout);  // progress must stream, not arrive post-merge
+  };
+
+  // The workers are this very binary; /proc/self/exe survives PATH-relative
+  // and cwd-relative invocations (fall back to argv[0] off Linux).
+  std::error_code self_ec;
+  std::filesystem::path self = std::filesystem::read_symlink("/proc/self/exe", self_ec);
+  if (self_ec) self = args.program();
+
+  std::vector<std::string> base{self.string(), "--figure", name};
+  for (const char* flag : {"scale", "scenario", "seed", "cache", "cache-dir"}) {
+    if (args.has(flag)) {
+      base.push_back(std::string("--") + flag);
+      base.push_back(args.get(flag, ""));
+    }
+  }
+  const std::int64_t inject = args.get_int("inject-shard-failure", -1);
+
+  mf::exp::Dispatcher dispatcher(
+      name, [&](std::size_t index, const std::string& out_path) {
+        std::vector<std::string> argv = base;
+        argv.insert(argv.end(),
+                    {"--shard", std::to_string(index) + "/" + std::to_string(shard_count),
+                     "--out", out_path});
+        if (inject >= 0 && index == static_cast<std::size_t>(inject)) {
+          argv.insert(argv.end(),
+                      {"--fail-marker",
+                       (options.work_dir / ("injected-fail-shard" + std::to_string(index)))
+                           .string()});
+        }
+        return argv;
+      });
+
+  std::printf("dispatch: figure %s over %lld shards via %s, %zu attempt(s)/shard%s\n",
+              name.c_str(), static_cast<long long>(shard_count),
+              launcher->describe().c_str(), options.max_attempts,
+              options.timeout_seconds > 0.0 ? ", wedge timeout armed" : "");
+  std::fflush(stdout);
+
+  mf::exp::DispatchReport report;
+  try {
+    report = dispatcher.run(options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+
+  std::size_t ok_count = 0;
+  std::size_t retried = 0;
+  for (const mf::exp::ShardReport& shard : report.shards) {
+    if (shard.ok) ++ok_count;
+    if (shard.ok && shard.attempts > 1) ++retried;
+    std::printf("dispatch-shard: index=%zu ok=%d attempts=%zu exit=%d wall_ms=%.1f file=%s%s%s\n",
+                shard.index, shard.ok ? 1 : 0, shard.attempts, shard.exit_code,
+                shard.wall_ms, shard.shard_file.c_str(),
+                shard.error.empty() ? "" : " error=", shard.error.c_str());
+  }
+  std::printf("dispatch-summary: shards=%zu ok=%zu failed=%zu retried=%zu launcher=%s\n",
+              report.shards.size(), ok_count, report.shards.size() - ok_count, retried,
+              launcher->describe().c_str());
+  if (!report.ok) {
+    std::fprintf(stderr, "error: %s\n", report.error.c_str());
+    return 1;
+  }
+
+  std::printf("=== %s: %s (dispatched over %zu shards) ===\n", report.merged->spec.name.c_str(),
+              report.merged->spec.description.c_str(), report.shards.size());
+  print_sweep(*report.merged);
+  const std::string out = args.get("out", "");
+  if (!out.empty() && !write_sweep_file(*report.merged, out)) return 1;
+  return 0;
+}
+
 int run_merge(const mf::support::CliArgs& args) {
   // The flag parser binds the first file to --merge itself ("--name value"
   // form); the rest arrive as positionals.
@@ -455,8 +708,14 @@ int main(int argc, char** argv) {
   const mf::support::CliArgs args(argc, argv);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
+  if (args.has("help")) {
+    (void)usage(args.program().c_str());
+    return 0;
+  }
   if (args.has("list")) return list_solvers();
   if (args.has("list-scenarios")) return list_scenarios();
+  if (args.has("cache-gc")) return run_cache_gc(args);
+  if (args.has("dispatch")) return run_dispatch(args);
   if (args.has("figure")) return run_figure(args);
   if (args.has("merge")) return run_merge(args);
   if (args.has("serve-demo")) return run_serve_demo(args);

@@ -1,0 +1,352 @@
+#include "exp/dispatch.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "exp/sweep_io.hpp"
+
+namespace mf::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// fork + redirect + exec. `exec` runs in the child and must not return on
+/// success; both launchers funnel through here so redirection behaves
+/// identically for a direct worker and for a `/bin/sh -c` wrapper.
+template <typename Exec>
+pid_t spawn(const std::string& log_path, Exec&& exec) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // parent: child pid, or -1 with errno set
+  // Own process group, so a wedge-timeout kill(-pid) reaches the whole
+  // worker tree — a `/bin/sh -c` wrapper's real worker included, not just
+  // the wrapper.
+  ::setpgid(0, 0);
+  if (!log_path.empty()) {
+    const int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      ::close(fd);
+    }
+  }
+  exec();
+  // exec failed: 127 is the shell's "command not found" convention, which
+  // the dispatcher reports as a plain failed attempt.
+  std::_Exit(127);
+}
+
+}  // namespace
+
+pid_t LocalLauncher::launch(const std::vector<std::string>& argv,
+                            const std::string& log_path) {
+  if (argv.empty()) return -1;
+  return spawn(log_path, [&argv] {
+    std::vector<char*> words;
+    words.reserve(argv.size() + 1);
+    for (const std::string& word : argv) words.push_back(const_cast<char*>(word.c_str()));
+    words.push_back(nullptr);
+    ::execvp(words[0], words.data());
+  });
+}
+
+std::string shell_quote(const std::string& word) {
+  std::string quoted = "'";
+  for (const char c : word) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
+CommandLauncher::CommandLauncher(std::string command_template)
+    : template_(std::move(command_template)) {}
+
+std::string CommandLauncher::render(const std::vector<std::string>& argv) const {
+  std::string command;
+  for (const std::string& word : argv) {
+    if (!command.empty()) command += ' ';
+    command += shell_quote(word);
+  }
+  const std::string placeholder = "{CMD}";
+  std::string line = template_;
+  std::size_t at = line.find(placeholder);
+  if (at == std::string::npos) return line + ' ' + command;
+  while (at != std::string::npos) {
+    line.replace(at, placeholder.size(), command);
+    at = line.find(placeholder, at + command.size());
+  }
+  return line;
+}
+
+pid_t CommandLauncher::launch(const std::vector<std::string>& argv,
+                              const std::string& log_path) {
+  if (argv.empty()) return -1;
+  const std::string line = render(argv);
+  return spawn(log_path, [&line] {
+    ::execl("/bin/sh", "sh", "-c", line.c_str(), static_cast<char*>(nullptr));
+  });
+}
+
+std::string CommandLauncher::describe() const { return "cmd(" + template_ + ")"; }
+
+std::unique_ptr<Launcher> launcher_from_spec(const std::string& spec, std::string* error) {
+  if (spec.empty() || spec == "local") return std::make_unique<LocalLauncher>();
+  const std::string prefix = "cmd:";
+  if (spec.rfind(prefix, 0) == 0 && spec.size() > prefix.size()) {
+    return std::make_unique<CommandLauncher>(spec.substr(prefix.size()));
+  }
+  if (error != nullptr) {
+    *error = "unknown launcher '" + spec + "' (expected local or cmd:<template>)";
+  }
+  return nullptr;
+}
+
+std::string to_string(DispatchEvent::Kind kind) {
+  switch (kind) {
+    case DispatchEvent::Kind::kLaunch: return "launch";
+    case DispatchEvent::Kind::kOk: return "ok";
+    case DispatchEvent::Kind::kFail: return "fail";
+    case DispatchEvent::Kind::kTimeout: return "timeout";
+    case DispatchEvent::Kind::kGiveUp: return "give-up";
+  }
+  return "?";
+}
+
+Dispatcher::Dispatcher(std::string name, ShardCommandFactory factory)
+    : name_(std::move(name)), factory_(std::move(factory)) {}
+
+namespace {
+
+/// Supervision state for one shard across its attempts.
+struct ShardTask {
+  ShardReport report;
+  std::optional<SweepResult> parsed;  ///< validated shard result (ok shards)
+  std::string log_path;
+  pid_t pid = -1;
+  bool running = false;
+  bool done = false;
+  bool timed_out = false;  ///< current attempt was killed by the supervisor
+  Clock::time_point started;
+  Clock::time_point deadline;
+};
+
+}  // namespace
+
+DispatchReport Dispatcher::run(const DispatchOptions& options) {
+  if (options.shard_count < 2) {
+    throw std::invalid_argument("dispatch needs at least 2 shards");
+  }
+  if (!factory_) throw std::invalid_argument("dispatch needs a shard command factory");
+  const std::size_t max_attempts = options.max_attempts == 0 ? 1 : options.max_attempts;
+  std::error_code ec;
+  std::filesystem::create_directories(options.work_dir, ec);
+  if (ec || !std::filesystem::is_directory(options.work_dir)) {
+    throw std::invalid_argument("dispatch work dir '" + options.work_dir.string() +
+                                "' cannot be created");
+  }
+
+  LocalLauncher local;
+  Launcher* launcher = options.launcher != nullptr ? options.launcher : &local;
+  const auto emit = [&options](const DispatchEvent& event) {
+    if (options.observer) options.observer(event);
+  };
+  const auto event_for = [&options](const ShardTask& task, DispatchEvent::Kind kind) {
+    DispatchEvent event;
+    event.kind = kind;
+    event.shard = task.report.index;
+    event.shard_count = options.shard_count;
+    event.attempt = task.report.attempts;
+    event.pid = task.pid;
+    return event;
+  };
+
+  std::vector<ShardTask> tasks(options.shard_count);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].report.index = i;
+    tasks[i].report.shard_file =
+        (options.work_dir / (name_ + ".shard" + std::to_string(i) + "-of-" +
+                             std::to_string(options.shard_count) + ".txt"))
+            .string();
+  }
+
+  const auto start_attempt = [&](ShardTask& task) {
+    ++task.report.attempts;
+    task.timed_out = false;
+    // A stale file from a failed attempt (or an earlier campaign) must not
+    // be mistaken for this attempt's output.
+    std::error_code ignored;
+    std::filesystem::remove(task.report.shard_file, ignored);
+    task.log_path = (options.work_dir /
+                     (name_ + ".shard" + std::to_string(task.report.index) + ".attempt" +
+                      std::to_string(task.report.attempts) + ".log"))
+                        .string();
+    const std::vector<std::string> argv =
+        factory_(task.report.index, task.report.shard_file);
+    task.pid = launcher->launch(argv, task.log_path);
+    task.started = Clock::now();
+    task.deadline = options.timeout_seconds > 0.0
+                        ? task.started + std::chrono::duration_cast<Clock::duration>(
+                                             std::chrono::duration<double>(
+                                                 options.timeout_seconds))
+                        : Clock::time_point::max();
+    if (task.pid >= 0) {
+      task.running = true;
+      DispatchEvent event = event_for(task, DispatchEvent::Kind::kLaunch);
+      event.detail = task.log_path;
+      emit(event);
+    }
+  };
+
+  // Forward declaration dance: a failed attempt either retries (relaunch)
+  // or exhausts the cap (give up); spawn failures recurse at most
+  // max_attempts times.
+  const std::function<void(ShardTask&, const std::string&, int, bool)> attempt_failed =
+      [&](ShardTask& task, const std::string& why, int exit_code, bool was_timeout) {
+        task.running = false;
+        task.report.exit_code = exit_code;
+        task.report.error = why;
+        DispatchEvent event = event_for(
+            task, was_timeout ? DispatchEvent::Kind::kTimeout : DispatchEvent::Kind::kFail);
+        event.exit_code = exit_code;
+        event.wall_ms = task.report.wall_ms;
+        event.detail = why;
+        emit(event);
+        if (task.report.attempts >= max_attempts) {
+          task.done = true;
+          DispatchEvent give_up = event_for(task, DispatchEvent::Kind::kGiveUp);
+          give_up.detail = why;
+          emit(give_up);
+          return;
+        }
+        start_attempt(task);
+        if (task.pid < 0) {
+          attempt_failed(task, "launcher could not start the worker process", -1, false);
+        }
+      };
+
+  for (ShardTask& task : tasks) {
+    start_attempt(task);
+    if (task.pid < 0) {
+      attempt_failed(task, "launcher could not start the worker process", -1, false);
+    }
+  }
+
+  const auto any_running = [&tasks] {
+    for (const ShardTask& task : tasks) {
+      if (task.running) return true;
+    }
+    return false;
+  };
+
+  while (any_running()) {
+    bool progressed = false;
+    for (ShardTask& task : tasks) {
+      if (!task.running) continue;
+      int status = 0;
+      const pid_t reaped = ::waitpid(task.pid, &status, WNOHANG);
+      if (reaped == task.pid) {
+        progressed = true;
+        task.report.wall_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - task.started).count();
+        if (task.timed_out) {
+          attempt_failed(task,
+                         "wedged: killed after exceeding the " +
+                             std::to_string(options.timeout_seconds) + "s timeout",
+                         -1, true);
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+          try {
+            SweepResult result = load_sweep_shard(task.report.shard_file);
+            if (result.shard.index != task.report.index ||
+                result.shard.count != options.shard_count) {
+              throw std::invalid_argument(
+                  "file claims shard " + std::to_string(result.shard.index) + "/" +
+                  std::to_string(result.shard.count));
+            }
+            task.parsed = std::move(result);
+            task.running = false;
+            task.done = true;
+            task.report.ok = true;
+            task.report.exit_code = 0;
+            task.report.error.clear();
+            DispatchEvent event = event_for(task, DispatchEvent::Kind::kOk);
+            event.wall_ms = task.report.wall_ms;
+            event.detail = task.report.shard_file;
+            emit(event);
+          } catch (const std::exception& error) {
+            attempt_failed(task, std::string("shard file invalid: ") + error.what(), 0,
+                           false);
+          }
+        } else if (WIFEXITED(status)) {
+          attempt_failed(task,
+                         "worker exited with status " + std::to_string(WEXITSTATUS(status)),
+                         WEXITSTATUS(status), false);
+        } else if (WIFSIGNALED(status)) {
+          attempt_failed(task,
+                         std::string("worker killed by signal ") +
+                             std::to_string(WTERMSIG(status)),
+                         -1, false);
+        } else {
+          attempt_failed(task, "worker stopped in an unexpected way", -1, false);
+        }
+      } else if (reaped < 0 && errno != EINTR) {
+        progressed = true;
+        attempt_failed(task, std::string("waitpid failed: ") + std::strerror(errno), -1,
+                       false);
+      } else if (Clock::now() > task.deadline && !task.timed_out) {
+        // Kill the worker's whole process group (wrappers fork the real
+        // worker) and keep polling: the kill is reaped (and reported as a
+        // timeout) on a later iteration. Fall back to the lone pid for a
+        // child that died before its setpgid took effect.
+        task.timed_out = true;
+        if (::kill(-task.pid, SIGKILL) != 0) ::kill(task.pid, SIGKILL);
+      }
+    }
+    if (!progressed && any_running()) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(options.poll_interval_ms));
+    }
+  }
+
+  DispatchReport report;
+  report.shards.reserve(tasks.size());
+  bool all_ok = true;
+  for (ShardTask& task : tasks) {
+    if (!task.report.ok && report.error.empty()) {
+      report.error = "shard " + std::to_string(task.report.index) + "/" +
+                     std::to_string(options.shard_count) + " failed after " +
+                     std::to_string(task.report.attempts) +
+                     " attempt(s): " + task.report.error;
+    }
+    all_ok = all_ok && task.report.ok;
+    report.shards.push_back(task.report);
+  }
+  if (all_ok) {
+    std::vector<SweepResult> parts;
+    parts.reserve(tasks.size());
+    for (ShardTask& task : tasks) parts.push_back(*std::move(task.parsed));
+    try {
+      report.merged = merge(std::move(parts));
+      report.ok = true;
+    } catch (const std::exception& error) {
+      report.error = std::string("merge failed: ") + error.what();
+    }
+  }
+  return report;
+}
+
+}  // namespace mf::exp

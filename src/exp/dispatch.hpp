@@ -1,0 +1,168 @@
+// The distributed sweep dispatcher: process-level orchestration of sharded
+// figure campaigns.
+//
+// `mfsched --shard i/N` + `--merge` made multi-process sweeps *possible*;
+// this layer makes them *hands-off*. A `Dispatcher` takes a campaign name
+// and a command factory (shard index + output path -> argv), launches one
+// worker process per shard through a pluggable `Launcher`, monitors them,
+// retries failed or wedged shards under a per-shard attempt cap, collects
+// and validates the shard files, and finishes with the existing bit-exact
+// `exp::merge` — so a dispatched campaign's table is byte-identical to the
+// unsharded run, exactly like a hand-driven shard+merge session.
+//
+// Launchers decide *where* a shard command runs:
+//   - `LocalLauncher` fork/execs on this host (the default).
+//   - `CommandLauncher` wraps the shard command in a user template run
+//     through `/bin/sh -c` — `"ssh worker3 {CMD}"`, `"nice -n 10 {CMD}"`,
+//     or a `kubectl run`/container spelling — which is the seam a future
+//     ssh/k8s fleet backend plugs into without touching the dispatcher.
+//
+// Failure policy: an attempt fails when the worker cannot be spawned, exits
+// nonzero, dies to a signal, exceeds the wedge timeout (killed), or leaves
+// a shard file that does not parse as exactly shard i of N. Each failure
+// consumes one attempt; a shard that exhausts `max_attempts` fails the
+// campaign with the shard named — partial results are never merged.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace mf::exp {
+
+/// Starts shard worker processes. Implementations must return a child pid
+/// the dispatcher can `waitpid`/`kill`, or -1 when the process could not be
+/// started (counted as a failed attempt, not a crash).
+class Launcher {
+ public:
+  virtual ~Launcher() = default;
+
+  /// Starts `argv` with stdout+stderr redirected to `log_path` (best
+  /// effort; empty means inherit). Returns the child pid or -1.
+  [[nodiscard]] virtual pid_t launch(const std::vector<std::string>& argv,
+                                     const std::string& log_path) = 0;
+  /// One-line description for logs, e.g. "local" or "cmd(ssh w3 {CMD})".
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// fork/exec on the local host — the one-machine campaign backend.
+class LocalLauncher final : public Launcher {
+ public:
+  [[nodiscard]] pid_t launch(const std::vector<std::string>& argv,
+                             const std::string& log_path) override;
+  [[nodiscard]] std::string describe() const override { return "local"; }
+};
+
+/// Runs each shard command through a shell template: every `{CMD}` in the
+/// template is replaced by the shell-quoted shard command (appended when
+/// the template has no placeholder), and the result runs via `/bin/sh -c`.
+/// This is how a campaign reaches other hosts today ("ssh worker{i} ..."
+/// templates) and the seam a managed ssh/k8s backend will implement.
+class CommandLauncher final : public Launcher {
+ public:
+  explicit CommandLauncher(std::string command_template);
+
+  [[nodiscard]] pid_t launch(const std::vector<std::string>& argv,
+                             const std::string& log_path) override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// The shell line `launch` would run for `argv` (exposed for tests).
+  [[nodiscard]] std::string render(const std::vector<std::string>& argv) const;
+
+ private:
+  std::string template_;
+};
+
+/// Single-quotes `word` for POSIX sh (embedded quotes escaped).
+[[nodiscard]] std::string shell_quote(const std::string& word);
+
+/// Parses a `--launcher` spec: "local" or "cmd:<template>". Returns null
+/// and fills `*error` on anything else.
+[[nodiscard]] std::unique_ptr<Launcher> launcher_from_spec(const std::string& spec,
+                                                           std::string* error);
+
+/// One observable step of a campaign; the dispatcher emits these through
+/// `DispatchOptions::observer` so callers can render progress (the CLI
+/// prints one machine-readable line per event).
+struct DispatchEvent {
+  enum class Kind { kLaunch, kOk, kFail, kTimeout, kGiveUp };
+
+  Kind kind = Kind::kLaunch;
+  std::size_t shard = 0;
+  std::size_t shard_count = 0;
+  std::size_t attempt = 0;  ///< 1-based
+  pid_t pid = -1;
+  int exit_code = 0;     ///< worker exit status (kFail), 0 otherwise
+  double wall_ms = 0.0;  ///< attempt duration (kOk/kFail/kTimeout)
+  std::string detail;    ///< file or log path, or a failure description
+};
+
+[[nodiscard]] std::string to_string(DispatchEvent::Kind kind);
+
+struct DispatchOptions {
+  std::size_t shard_count = 2;
+  /// Attempt cap per shard (first attempt + retries). At least 1.
+  std::size_t max_attempts = 3;
+  /// Kill an attempt still running after this long (wedged worker); 0
+  /// disables the timeout. A killed attempt is retried like any failure.
+  double timeout_seconds = 0.0;
+  /// Where shard files and per-attempt worker logs are collected; created
+  /// when absent.
+  std::filesystem::path work_dir = ".";
+  /// Null means a process-local `LocalLauncher`.
+  Launcher* launcher = nullptr;
+  std::function<void(const DispatchEvent&)> observer;
+  /// Child poll cadence; only tests should need to change it.
+  double poll_interval_ms = 20.0;
+};
+
+/// Per-shard outcome; `attempts` > 1 means the retry path ran.
+struct ShardReport {
+  std::size_t index = 0;
+  std::size_t attempts = 0;
+  bool ok = false;
+  int exit_code = 0;      ///< last attempt's exit status
+  double wall_ms = 0.0;   ///< last attempt's duration
+  std::string shard_file;
+  std::string error;      ///< last failure description ("" when ok)
+};
+
+struct DispatchReport {
+  bool ok = false;
+  std::vector<ShardReport> shards;
+  /// The bit-exact `merge()` of all shard files; present only when ok.
+  std::optional<SweepResult> merged;
+  /// Campaign-level failure description naming the losing shard.
+  std::string error;
+};
+
+/// Builds the worker argv for one shard. The dispatcher owns output naming:
+/// the factory must make the worker write its shard file to `out_path`.
+using ShardCommandFactory =
+    std::function<std::vector<std::string>(std::size_t shard_index, const std::string& out_path)>;
+
+class Dispatcher {
+ public:
+  /// `name` keys the collected files (work_dir/<name>.shard<i>-of-<N>.txt).
+  Dispatcher(std::string name, ShardCommandFactory factory);
+
+  /// Runs the whole campaign to completion: launch every shard, supervise,
+  /// retry, collect, merge. Blocking; never throws on worker failure (the
+  /// report carries the outcome). Throws std::invalid_argument on an
+  /// unusable configuration (shard_count < 2, no factory, bad work_dir).
+  [[nodiscard]] DispatchReport run(const DispatchOptions& options);
+
+ private:
+  std::string name_;
+  ShardCommandFactory factory_;
+};
+
+}  // namespace mf::exp

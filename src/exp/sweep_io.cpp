@@ -1,9 +1,13 @@
 #include "exp/sweep_io.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "support/check.hpp"
 
@@ -266,13 +270,27 @@ SweepResult sweep_shard_from_text(const std::string& text) {
 }
 
 void save_sweep_shard(const SweepResult& result, const std::string& path) {
-  std::ofstream out(path);
-  MF_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
-  out << to_text(result);
-  // Flush before checking: a failure on the buffered tail (e.g. a full
-  // disk) would otherwise only surface in the destructor and be swallowed.
-  out.flush();
-  MF_REQUIRE(out.good(), "write to '" + path + "' failed");
+  // Write-temp-then-rename, like the disk cache: a reader (the dispatcher
+  // validating a collected shard) can never observe a half-written file,
+  // even when a killed worker's orphaned descendants race a retry attempt
+  // on the same path.
+  const std::string temp = path + ".tmp-" + std::to_string(::getpid());
+  {
+    std::ofstream out(temp);
+    MF_REQUIRE(out.good(), "cannot open '" + temp + "' for writing");
+    out << to_text(result);
+    // Flush before checking: a failure on the buffered tail (e.g. a full
+    // disk) would otherwise only surface in the destructor and be swallowed.
+    out.flush();
+    MF_REQUIRE(out.good(), "write to '" + temp + "' failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::error_code cleanup;
+    std::filesystem::remove(temp, cleanup);
+    MF_REQUIRE(false, "cannot move '" + temp + "' into place: " + ec.message());
+  }
 }
 
 SweepResult load_sweep_shard(const std::string& path) {

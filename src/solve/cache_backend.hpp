@@ -87,6 +87,9 @@ struct CacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::size_t size = 0;  ///< entries currently resident
+  /// Bytes the resident entries occupy on persistent storage; 0 for
+  /// memory-only backends (tiers report the sum of their layers).
+  std::uint64_t bytes = 0;
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t lookups = hits + misses;

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -244,6 +246,11 @@ std::optional<SolveResult> DiskCache::lookup(const CacheKey& key) {
     // entry misfiled by hand is a miss, never a wrong result.
     if (entry.has_value() && entry->first == key) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      // Refresh the mtime so gc's LRU order tracks use, not just writes; a
+      // failure (entry evicted between read and touch) costs nothing.
+      std::error_code ec;
+      std::filesystem::last_write_time(path, std::filesystem::file_time_type::clock::now(),
+                                       ec);
       return std::move(entry->second);
     }
   }
@@ -285,12 +292,89 @@ CacheStats DiskCache::stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
   std::error_code ec;
   for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
        it.increment(ec)) {
-    if (it->path().extension() == ".mfc") ++stats.size;
+    if (it->path().extension() == ".mfc") {
+      ++stats.size;
+      std::error_code size_ec;
+      const std::uintmax_t bytes = std::filesystem::file_size(it->path(), size_ec);
+      if (!size_ec) stats.bytes += static_cast<std::uint64_t>(bytes);
+    }
   }
   return stats;
+}
+
+DiskGcReport DiskCache::gc(std::uint64_t max_bytes) {
+  struct Entry {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    std::uint64_t bytes = 0;
+  };
+  // A temp file younger than this belongs to a writer that may still be
+  // alive; older ones are crash leftovers (writes take milliseconds).
+  constexpr auto kStaleTempAge = std::chrono::hours(1);
+
+  DiskGcReport report;
+  std::vector<Entry> entries;
+  const auto now = std::filesystem::file_time_type::clock::now();
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::filesystem::path& path = it->path();
+    std::error_code stat_ec;
+    if (path.extension() == ".mfc") {
+      Entry entry;
+      entry.path = path;
+      entry.mtime = std::filesystem::last_write_time(path, stat_ec);
+      if (stat_ec) continue;  // vanished mid-scan (concurrent gc/clear)
+      entry.bytes = static_cast<std::uint64_t>(std::filesystem::file_size(path, stat_ec));
+      if (stat_ec) continue;
+      entries.push_back(std::move(entry));
+    } else if (path.filename().string().find(".mfc.tmp-") != std::string::npos) {
+      const auto mtime = std::filesystem::last_write_time(path, stat_ec);
+      if (!stat_ec && now - mtime > kStaleTempAge) {
+        if (std::filesystem::remove(path, stat_ec) && !stat_ec) {
+          ++report.stale_temps_removed;
+        }
+      }
+    }
+  }
+
+  report.entries_before = entries.size();
+  for (const Entry& entry : entries) report.bytes_before += entry.bytes;
+
+  // True LRU: survivors are a recency *prefix*. Walking newest-first, the
+  // first entry that overflows the cap marks the cutoff — it and everything
+  // older is evicted (a skip-and-keep-older policy would instead drop the
+  // hottest entry while stale ones survive).
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime > b.mtime; });
+  bool evicting = false;
+  for (const Entry& entry : entries) {
+    if (!evicting && report.bytes_kept + entry.bytes <= max_bytes) {
+      ++report.entries_kept;
+      report.bytes_kept += entry.bytes;
+      continue;
+    }
+    evicting = true;
+    std::error_code remove_ec;
+    std::filesystem::remove(entry.path, remove_ec);
+    std::error_code exists_ec;
+    if (remove_ec && std::filesystem::exists(entry.path, exists_ec)) {
+      // Could not delete (permissions on a shared dir, say): the entry is
+      // still resident, and the report must not claim its space was freed.
+      ++report.entries_kept;
+      report.bytes_kept += entry.bytes;
+      continue;
+    }
+    // Removed — or concurrently vanished, which reached the same end state.
+    ++report.entries_removed;
+    report.bytes_removed += entry.bytes;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return report;
 }
 
 void DiskCache::clear() {

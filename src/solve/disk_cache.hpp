@@ -30,6 +30,19 @@
 
 namespace mf::solve {
 
+/// What one `DiskCache::gc` pass did. `bytes_kept` is what survives under
+/// the cap; `stale_temps_removed` counts crash-leftover temp files swept as
+/// a side effect.
+struct DiskGcReport {
+  std::size_t entries_before = 0;
+  std::size_t entries_kept = 0;
+  std::size_t entries_removed = 0;
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_kept = 0;
+  std::uint64_t bytes_removed = 0;
+  std::size_t stale_temps_removed = 0;
+};
+
 /// Serializes one entry (key + result) into the on-disk text format.
 [[nodiscard]] std::string entry_to_text(const CacheKey& key, const SolveResult& result);
 
@@ -47,12 +60,24 @@ class DiskCache final : public CacheBackend {
   DiskCache(const DiskCache&) = delete;
   DiskCache& operator=(const DiskCache&) = delete;
 
+  /// A hit refreshes the entry file's mtime (best effort), so `gc`'s
+  /// LRU-by-mtime order reflects last *use*, not just last write.
   [[nodiscard]] std::optional<SolveResult> lookup(const CacheKey& key) override;
   void insert(const CacheKey& key, const SolveResult& result) override;
-  /// `size` counts the entry files currently in the directory (a scan — the
-  /// directory is shared with other processes, so no resident counter can
-  /// be authoritative). Evictions are always 0: the store never evicts.
+  /// `size`/`bytes` count the entry files currently in the directory (a
+  /// scan — the directory is shared with other processes, so no resident
+  /// counter can be authoritative). Evictions count entries removed by
+  /// this instance's `gc` passes.
   [[nodiscard]] CacheStats stats() const override;
+  /// Shrinks the directory to at most `max_bytes` of entry files, deleting
+  /// least-recently-used entries first (LRU by file mtime; lookups refresh
+  /// it). Deletion is per-file atomic, so a concurrent reader of an evicted
+  /// entry degrades to a miss — the same contract as crash-safe writes. An
+  /// entry *being written* lives in a temp file and is never touched;
+  /// abandoned temp files (older than an hour — a crashed writer, not a
+  /// live one) are swept as a side effect. Safe to run while workers share
+  /// the directory.
+  DiskGcReport gc(std::uint64_t max_bytes);
   /// Removes every entry file (and stale temp files) in the directory.
   void clear() override;
   [[nodiscard]] std::string describe() const override;
@@ -68,6 +93,7 @@ class DiskCache final : public CacheBackend {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> temp_serial_{0};
 };
 

@@ -34,6 +34,7 @@ CacheStats TieredCache::stats() const {
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = fast.evictions + slow.evictions;
   stats.size = fast.size + slow.size;
+  stats.bytes = fast.bytes + slow.bytes;
   return stats;
 }
 

@@ -1,0 +1,460 @@
+// Tests for the distributed sweep dispatcher and the disk-cache garbage
+// collector: a dispatched campaign merges bit-identically to the unsharded
+// sweep, failed shards are retried (and exhausted retries name the losing
+// shard), wedged workers are killed, the command-template launcher quotes
+// correctly — and `DiskCache::gc` keeps the newest entries under the byte
+// cap, tracks recency through lookups, and never touches an entry that is
+// still being written (a fresh temp file).
+//
+// Dispatcher tests drive real child processes, but not the mfsched binary
+// (tests must not depend on sibling build artifacts): shard files are
+// staged in-process through `run_sweep` + `save_sweep_shard`, and the
+// dispatched "workers" are /bin/cp / /bin/sh commands that deliver, fail,
+// or wedge on demand.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/digest.hpp"
+#include "exp/dispatch.hpp"
+#include "exp/method.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep_io.hpp"
+#include "solve/cache_backend.hpp"
+#include "solve/disk_cache.hpp"
+
+namespace mf::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.name = "tiny-dispatch";
+  spec.description = "dispatcher equivalence fixture";
+  spec.base.machines = 4;
+  spec.base.types = 2;
+  spec.variable = SweepVariable::kTasks;
+  spec.values = {4, 6, 8};
+  spec.methods = heuristic_methods({"H1", "H4w"});
+  spec.trials = 4;
+  spec.max_trials = 4;
+  spec.base_seed = 2024;
+  return spec;
+}
+
+/// Fresh scratch directory per test, removed on teardown.
+class DispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mf-dispatch-test-" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Runs every shard in-process and saves real shard files the fake
+  /// workers can deliver.
+  std::vector<std::string> stage_shards(const SweepSpec& spec, std::size_t count) {
+    std::vector<std::string> staged;
+    for (std::size_t i = 0; i < count; ++i) {
+      SweepOptions options;
+      options.shard = {i, count};
+      const SweepResult result = run_sweep(spec, options);
+      const fs::path path = dir_ / ("staged" + std::to_string(i) + ".txt");
+      save_sweep_shard(result, path.string());
+      staged.push_back(path.string());
+    }
+    return staged;
+  }
+
+  [[nodiscard]] DispatchOptions options(std::size_t count) const {
+    DispatchOptions opts;
+    opts.shard_count = count;
+    opts.work_dir = dir_ / "work";
+    opts.poll_interval_ms = 2.0;
+    return opts;
+  }
+
+  fs::path dir_;
+};
+
+/// A worker that simply delivers the staged shard file. Captures by value:
+/// the returned factory outlives any caller-side vector (callers pass
+/// temporaries).
+ShardCommandFactory copy_factory(std::vector<std::string> staged) {
+  return [staged = std::move(staged)](std::size_t index, const std::string& out_path) {
+    return std::vector<std::string>{"/bin/cp", staged[index], out_path};
+  };
+}
+
+TEST_F(DispatchTest, DispatchedCampaignMergesBitIdenticalToUnsharded) {
+  const SweepSpec spec = small_spec();
+  const SweepResult unsharded = run_sweep(spec);
+  const std::vector<std::string> staged = stage_shards(spec, 3);
+
+  std::vector<DispatchEvent> events;
+  DispatchOptions opts = options(3);
+  opts.observer = [&events](const DispatchEvent& event) { events.push_back(event); };
+  Dispatcher dispatcher(spec.name, copy_factory(staged));
+  const DispatchReport report = dispatcher.run(opts);
+
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_TRUE(report.merged.has_value());
+  EXPECT_EQ(report.merged->to_table().to_string(), unsharded.to_table().to_string());
+  ASSERT_EQ(report.shards.size(), 3u);
+  for (const ShardReport& shard : report.shards) {
+    EXPECT_TRUE(shard.ok);
+    EXPECT_EQ(shard.attempts, 1u);
+    EXPECT_TRUE(fs::exists(shard.shard_file));
+  }
+  // One launch and one ok per shard, nothing else.
+  std::size_t launches = 0;
+  std::size_t oks = 0;
+  for (const DispatchEvent& event : events) {
+    launches += event.kind == DispatchEvent::Kind::kLaunch ? 1 : 0;
+    oks += event.kind == DispatchEvent::Kind::kOk ? 1 : 0;
+  }
+  EXPECT_EQ(launches, 3u);
+  EXPECT_EQ(oks, 3u);
+  EXPECT_EQ(events.size(), 6u);
+}
+
+TEST_F(DispatchTest, FailedShardIsRetriedAndCampaignConverges) {
+  const SweepSpec spec = small_spec();
+  const SweepResult unsharded = run_sweep(spec);
+  const std::vector<std::string> staged = stage_shards(spec, 3);
+
+  // Shard 1 fails its first attempt (creating the marker), then delivers.
+  const std::string marker = (dir_ / "fail-once.marker").string();
+  Dispatcher dispatcher(
+      spec.name, [&](std::size_t index, const std::string& out_path) {
+        if (index != 1) return copy_factory(staged)(index, out_path);
+        const std::string script = "if [ ! -e " + marker + " ]; then : > " + marker +
+                                   "; exit 1; fi; exec /bin/cp " + staged[index] + " " +
+                                   out_path;
+        return std::vector<std::string>{"/bin/sh", "-c", script};
+      });
+  const DispatchReport report = dispatcher.run(options(3));
+
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.shards[0].attempts, 1u);
+  EXPECT_EQ(report.shards[1].attempts, 2u);
+  EXPECT_EQ(report.shards[2].attempts, 1u);
+  EXPECT_TRUE(report.shards[1].ok);
+  EXPECT_EQ(report.merged->to_table().to_string(), unsharded.to_table().to_string());
+}
+
+TEST_F(DispatchTest, ExhaustedRetriesFailTheCampaignNamingTheShard) {
+  const SweepSpec spec = small_spec();
+  const std::vector<std::string> staged = stage_shards(spec, 3);
+
+  std::vector<DispatchEvent> events;
+  DispatchOptions opts = options(3);
+  opts.max_attempts = 2;
+  opts.observer = [&events](const DispatchEvent& event) { events.push_back(event); };
+  Dispatcher dispatcher(
+      spec.name, [&](std::size_t index, const std::string& out_path) {
+        if (index != 2) return copy_factory(staged)(index, out_path);
+        return std::vector<std::string>{"/bin/sh", "-c", "exit 7"};
+      });
+  const DispatchReport report = dispatcher.run(opts);
+
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.merged.has_value());
+  EXPECT_NE(report.error.find("shard 2/3"), std::string::npos) << report.error;
+  EXPECT_NE(report.error.find("2 attempt"), std::string::npos) << report.error;
+  EXPECT_EQ(report.shards[2].attempts, 2u);
+  EXPECT_EQ(report.shards[2].exit_code, 7);
+  EXPECT_FALSE(report.shards[2].ok);
+  // The healthy shards still completed; partial results are not merged.
+  EXPECT_TRUE(report.shards[0].ok);
+  EXPECT_TRUE(report.shards[1].ok);
+  std::size_t give_ups = 0;
+  for (const DispatchEvent& event : events) {
+    give_ups += event.kind == DispatchEvent::Kind::kGiveUp ? 1 : 0;
+  }
+  EXPECT_EQ(give_ups, 1u);
+}
+
+TEST_F(DispatchTest, InvalidShardFileCountsAsFailedAttempt) {
+  const SweepSpec spec = small_spec();
+  const std::vector<std::string> staged = stage_shards(spec, 2);
+
+  DispatchOptions opts = options(2);
+  opts.max_attempts = 1;
+  Dispatcher dispatcher(
+      spec.name, [&](std::size_t index, const std::string& out_path) {
+        if (index != 0) return copy_factory(staged)(index, out_path);
+        // Exit 0 but deliver garbage: success must require a parseable
+        // file claiming exactly this shard.
+        return std::vector<std::string>{"/bin/sh", "-c",
+                                        "echo not-a-shard-file > " + out_path};
+      });
+  const DispatchReport report = dispatcher.run(opts);
+
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("shard 0/2"), std::string::npos) << report.error;
+  EXPECT_NE(report.shards[0].error.find("shard file invalid"), std::string::npos)
+      << report.shards[0].error;
+}
+
+TEST_F(DispatchTest, MisnumberedShardFileIsRejected) {
+  const SweepSpec spec = small_spec();
+  const std::vector<std::string> staged = stage_shards(spec, 2);
+
+  DispatchOptions opts = options(2);
+  opts.max_attempts = 1;
+  // Both workers deliver shard 1's file; shard 0's delivery claims the
+  // wrong slice and must fail validation.
+  Dispatcher dispatcher(spec.name, [&](std::size_t, const std::string& out_path) {
+    return std::vector<std::string>{"/bin/cp", staged[1], out_path};
+  });
+  const DispatchReport report = dispatcher.run(opts);
+
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.shards[0].ok);
+  EXPECT_NE(report.shards[0].error.find("claims shard 1/2"), std::string::npos)
+      << report.shards[0].error;
+  EXPECT_TRUE(report.shards[1].ok);
+}
+
+TEST_F(DispatchTest, WedgedWorkerIsKilledAndReportedAsTimeout) {
+  const SweepSpec spec = small_spec();
+  const std::vector<std::string> staged = stage_shards(spec, 2);
+
+  DispatchOptions opts = options(2);
+  opts.max_attempts = 1;
+  opts.timeout_seconds = 0.25;
+  Dispatcher dispatcher(
+      spec.name, [&](std::size_t index, const std::string& out_path) {
+        if (index != 1) return copy_factory(staged)(index, out_path);
+        return std::vector<std::string>{"/bin/sleep", "30"};
+      });
+  const DispatchReport report = dispatcher.run(opts);
+
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.shards[1].ok);
+  EXPECT_NE(report.shards[1].error.find("wedged"), std::string::npos)
+      << report.shards[1].error;
+  // The kill path must not wait out the sleep.
+  EXPECT_LT(report.shards[1].wall_ms, 5000.0);
+}
+
+TEST_F(DispatchTest, CommandLauncherWrapsEveryWorkerCommand) {
+  const SweepSpec spec = small_spec();
+  const SweepResult unsharded = run_sweep(spec);
+  const std::vector<std::string> staged = stage_shards(spec, 2);
+
+  // A template with a prefix proves substitution happens (plain {CMD}
+  // would also pass with a launcher that ignored the template).
+  CommandLauncher launcher("MF_DISPATCH_TEST=1 {CMD}");
+  DispatchOptions opts = options(2);
+  opts.launcher = &launcher;
+  Dispatcher dispatcher(spec.name, copy_factory(staged));
+  const DispatchReport report = dispatcher.run(opts);
+
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.merged->to_table().to_string(), unsharded.to_table().to_string());
+}
+
+TEST(CommandLauncherTest, RenderQuotesWordsAndSubstitutesPlaceholder) {
+  const CommandLauncher launcher("ssh worker3 {CMD}");
+  const std::string line = launcher.render({"mfsched", "--figure", "fig 06"});
+  EXPECT_EQ(line, "ssh worker3 'mfsched' '--figure' 'fig 06'");
+  // No placeholder: the command is appended.
+  EXPECT_EQ(CommandLauncher("nice -n 10").render({"a"}), "nice -n 10 'a'");
+  // Embedded single quotes survive the shell round trip.
+  EXPECT_EQ(shell_quote("it's"), "'it'\\''s'");
+}
+
+TEST(CommandLauncherTest, LauncherSpecParsing) {
+  std::string error;
+  EXPECT_NE(launcher_from_spec("local", &error), nullptr);
+  const auto cmd = launcher_from_spec("cmd:ssh w3 {CMD}", &error);
+  ASSERT_NE(cmd, nullptr);
+  EXPECT_EQ(cmd->describe(), "cmd(ssh w3 {CMD})");
+  EXPECT_EQ(launcher_from_spec("bogus", &error), nullptr);
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST_F(DispatchTest, RejectsUnusableConfiguration) {
+  Dispatcher dispatcher("x", copy_factory({}));
+  DispatchOptions opts = options(1);
+  EXPECT_THROW((void)dispatcher.run(opts), std::invalid_argument);
+  Dispatcher no_factory("x", nullptr);
+  EXPECT_THROW((void)no_factory.run(options(2)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DiskCache::gc
+// ---------------------------------------------------------------------------
+
+class DiskGcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mf-gc-test-" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] solve::CacheKey key_for(std::uint64_t seed) const {
+    solve::SolveParams params;
+    params.seed = seed;
+    return solve::make_cache_key(core::digest(problem_), "H1", params);
+  }
+
+  /// Inserts one entry and back-dates its file `age_hours` into the past,
+  /// returning the entry path.
+  fs::path insert_aged(solve::DiskCache& cache, std::uint64_t seed, int age_hours) {
+    solve::SolveResult result;
+    result.status = solve::Status::kFeasible;
+    result.period = static_cast<double>(seed);
+    cache.insert(key_for(seed), result);
+    const fs::path path = dir_ / solve::DiskCache::entry_filename(key_for(seed));
+    fs::last_write_time(path, fs::file_time_type::clock::now() - std::chrono::hours(age_hours));
+    return path;
+  }
+
+  core::Problem problem_ = [] {
+    Scenario scenario;
+    scenario.tasks = 8;
+    scenario.machines = 4;
+    scenario.types = 2;
+    return generate(scenario, 7);
+  }();
+  fs::path dir_;
+};
+
+TEST_F(DiskGcTest, KeepsTheNewestEntriesUnderTheByteCap) {
+  solve::DiskCache cache(dir_);
+  // Seeds share a digit count so every entry file has the same size.
+  const fs::path oldest = insert_aged(cache, 11, 4);
+  const fs::path mid = insert_aged(cache, 12, 3);
+  const fs::path newer = insert_aged(cache, 13, 2);
+  const fs::path newest = insert_aged(cache, 14, 1);
+
+  const std::uint64_t cap = static_cast<std::uint64_t>(fs::file_size(newest)) +
+                            static_cast<std::uint64_t>(fs::file_size(newer));
+  const solve::DiskGcReport report = cache.gc(cap);
+
+  EXPECT_EQ(report.entries_before, 4u);
+  EXPECT_EQ(report.entries_kept, 2u);
+  EXPECT_EQ(report.entries_removed, 2u);
+  EXPECT_LE(report.bytes_kept, cap);
+  EXPECT_EQ(report.bytes_before, report.bytes_kept + report.bytes_removed);
+  EXPECT_TRUE(fs::exists(newest));
+  EXPECT_TRUE(fs::exists(newer));
+  EXPECT_FALSE(fs::exists(mid));
+  EXPECT_FALSE(fs::exists(oldest));
+  // Survivors still serve hits; evicted entries are honest misses.
+  EXPECT_TRUE(cache.lookup(key_for(14)).has_value());
+  EXPECT_FALSE(cache.lookup(key_for(11)).has_value());
+  const solve::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_LE(stats.bytes, cap);
+}
+
+TEST_F(DiskGcTest, SurvivorsAreARecencyPrefixEvenWithUnevenSizes) {
+  // gc only inspects names, sizes and mtimes, so fabricated entry files
+  // give exact control over both dimensions.
+  solve::DiskCache cache(dir_);  // creates the directory
+  const auto fabricate = [&](const std::string& stem, std::size_t bytes, int age_hours) {
+    const fs::path path = dir_ / (stem + ".mfc");
+    std::ofstream(path) << std::string(bytes, 'x');
+    fs::last_write_time(path,
+                        fs::file_time_type::clock::now() - std::chrono::hours(age_hours));
+    return path;
+  };
+  const fs::path newest_big = fabricate("aa", 400, 1);
+  const fs::path old1 = fabricate("bb", 100, 2);
+  const fs::path old2 = fabricate("cc", 100, 3);
+  const fs::path old3 = fabricate("dd", 100, 4);
+
+  // Cap 600: the newest 400 and the next two 100s fit; the oldest is cut.
+  solve::DiskGcReport report = cache.gc(600);
+  EXPECT_EQ(report.entries_kept, 3u);
+  EXPECT_EQ(report.entries_removed, 1u);
+  EXPECT_TRUE(fs::exists(newest_big));
+  EXPECT_FALSE(fs::exists(old3));
+
+  // Cap 300: the newest entry alone overflows the cap, which cuts the
+  // prefix at zero — an older entry must never survive a newer eviction
+  // (keeping stale entries while dropping the hottest would invert LRU).
+  report = cache.gc(300);
+  EXPECT_EQ(report.entries_kept, 0u);
+  EXPECT_EQ(report.entries_removed, 3u);
+  EXPECT_FALSE(fs::exists(newest_big));
+  EXPECT_FALSE(fs::exists(old1));
+  EXPECT_FALSE(fs::exists(old2));
+}
+
+TEST_F(DiskGcTest, LookupRefreshesRecencySoLruTracksUse) {
+  solve::DiskCache cache(dir_);
+  insert_aged(cache, 21, 3);  // older ...
+  insert_aged(cache, 22, 1);  // ... newer
+  // Using the older entry must move it to the front of the LRU order.
+  ASSERT_TRUE(cache.lookup(key_for(21)).has_value());
+
+  const std::uint64_t one_entry =
+      static_cast<std::uint64_t>(fs::file_size(dir_ / solve::DiskCache::entry_filename(key_for(21))));
+  const solve::DiskGcReport report = cache.gc(one_entry);
+
+  EXPECT_EQ(report.entries_kept, 1u);
+  EXPECT_TRUE(cache.lookup(key_for(21)).has_value());
+  EXPECT_FALSE(cache.lookup(key_for(22)).has_value());
+}
+
+TEST_F(DiskGcTest, NeverDeletesAnEntryBeingWritten) {
+  solve::DiskCache cache(dir_);
+  insert_aged(cache, 31, 2);
+  // An entry mid-write is a temp file. A fresh one belongs to a live
+  // writer and must survive even a zero cap; an hours-old one is a crash
+  // leftover and is swept.
+  const fs::path fresh_temp = dir_ / "0123456789abcdef0123456789abcdef.mfc.tmp-42-0";
+  const fs::path stale_temp = dir_ / "fedcba9876543210fedcba9876543210.mfc.tmp-43-0";
+  std::ofstream(fresh_temp) << "half-written entry";
+  std::ofstream(stale_temp) << "abandoned entry";
+  fs::last_write_time(stale_temp, fs::file_time_type::clock::now() - std::chrono::hours(2));
+
+  const solve::DiskGcReport report = cache.gc(0);
+
+  EXPECT_EQ(report.entries_removed, 1u);
+  EXPECT_EQ(report.entries_kept, 0u);
+  EXPECT_EQ(report.stale_temps_removed, 1u);
+  EXPECT_TRUE(fs::exists(fresh_temp));
+  EXPECT_FALSE(fs::exists(stale_temp));
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST_F(DiskGcTest, GenerousCapRemovesNothingAndSurvivorsStayBitExact) {
+  solve::DiskCache cache(dir_);
+  solve::SolveResult stored;
+  stored.status = solve::Status::kFeasible;
+  stored.period = 0x1.91eb851eb851fp+9;  // a period with a full mantissa
+  cache.insert(key_for(41), stored);
+
+  const solve::DiskGcReport report = cache.gc(1ull << 30);
+  EXPECT_EQ(report.entries_removed, 0u);
+  EXPECT_EQ(report.entries_kept, 1u);
+
+  const std::optional<solve::SolveResult> restored = cache.lookup(key_for(41));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->period, stored.period);  // bit-exact through gc
+}
+
+}  // namespace
+}  // namespace mf::exp
