@@ -1,0 +1,182 @@
+// Serving bench: an in-process scheduler daemon on an ephemeral port,
+// driven by N concurrent client connections over real TCP, emitting
+// BENCH_service.json for the CI perf trajectory.
+//
+// The workload is the serving steady state: every connection replays
+// requests drawn round-robin from K distinct solve identities against a
+// warm daemon — so after the warmup pass the daemon must answer purely
+// from its shared cache, and `solved` staying at K (one solve per distinct
+// identity, ever) is asserted, not just reported. What the timings then
+// measure is the serving overhead itself: framing, parsing, admission,
+// cache lookup, response serialization, and the TCP round-trip.
+//
+//   bench_service [--connections N] [--requests R] [--distinct K]
+//                 [--out BENCH_service.json]
+//
+// Deliberately free of the google-benchmark dependency, like the other
+// plain harnesses: the quantity under test (sustained req/s and tail
+// latency across live connections) needs a daemon and threads, not an
+// iteration framework.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "solve/cache.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+/// The q-quantile of a sorted sample set (nearest-rank).
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mf::support::CliArgs args(argc, argv);
+  const auto connections =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("connections", 8)));
+  const auto per_connection =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("requests", 200)));
+  const auto distinct =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("distinct", 16)));
+  const std::string out_path = args.get("out", "BENCH_service.json");
+
+  mf::solve::ResultCache cache(4096);
+  mf::serve::DaemonOptions options;
+  options.cache = &cache;
+  mf::serve::Daemon daemon(options);
+  daemon.start();
+
+  // K distinct identities: one shared problem, K seeds. H1 is seeded and
+  // cheap, so the bench measures serving overhead, not solver depth.
+  mf::exp::Scenario scenario;
+  scenario.tasks = 10;
+  scenario.machines = 5;
+  scenario.types = 2;
+  const auto problem =
+      std::make_shared<const mf::core::Problem>(mf::exp::generate(scenario, 7));
+  std::vector<mf::serve::WireRequest> identities;
+  identities.reserve(distinct);
+  for (std::size_t k = 0; k < distinct; ++k) {
+    mf::serve::WireRequest wire;
+    wire.client_id = "bench";
+    wire.request.problem = problem;
+    wire.request.solver_id = "H1";
+    wire.request.params.seed = 1000 + k;
+    wire.request.params.cache = mf::solve::CachePolicy::kReadWrite;
+    identities.push_back(std::move(wire));
+  }
+
+  // Warmup: solve each identity once; everything after this is cache-hit
+  // serving, which is the steady state under measurement.
+  {
+    mf::serve::Client warmer("127.0.0.1", daemon.port());
+    for (const mf::serve::WireRequest& wire : identities) {
+      const mf::serve::Client::Outcome outcome = warmer.solve(wire);
+      if (!outcome.ok) {
+        std::fprintf(stderr, "error: warmup solve failed: %s: %s\n",
+                     outcome.error_code.c_str(), outcome.detail.c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      mf::serve::Client client("127.0.0.1", daemon.port());
+      latencies[c].reserve(per_connection);
+      for (std::size_t r = 0; r < per_connection; ++r) {
+        const auto sent = std::chrono::steady_clock::now();
+        const mf::serve::Client::Outcome outcome =
+            client.solve(identities[(c + r) % identities.size()]);
+        if (!outcome.ok) {
+          std::fprintf(stderr, "error: bench solve failed: %s: %s\n",
+                       outcome.error_code.c_str(), outcome.detail.c_str());
+          std::exit(1);
+        }
+        latencies[c].push_back(std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - sent)
+                                   .count());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  const mf::serve::DaemonStatsSnapshot stats = daemon.stats_snapshot();
+  daemon.drain();
+  daemon.wait();
+
+  // The serving contract, asserted: N clients hammering K identities cost
+  // exactly K solver invocations (the warmup's), zero during measurement.
+  if (stats.service.solved != distinct) {
+    std::fprintf(stderr,
+                 "error: expected %zu solves (one per distinct identity), daemon did %llu\n",
+                 distinct, static_cast<unsigned long long>(stats.service.solved));
+    return 1;
+  }
+
+  std::vector<double> all;
+  for (const std::vector<double>& per : latencies) {
+    all.insert(all.end(), per.begin(), per.end());
+  }
+  std::sort(all.begin(), all.end());
+  const double total_requests = static_cast<double>(all.size());
+  const double req_per_s = wall_ms > 0.0 ? 1000.0 * total_requests / wall_ms : 0.0;
+
+  char json[1024];
+  std::snprintf(json, sizeof json,
+                "{\n"
+                "  \"bench\": \"service\",\n"
+                "  \"connections\": %zu,\n"
+                "  \"requests\": %zu,\n"
+                "  \"distinct\": %zu,\n"
+                "  \"wall_ms\": %.3f,\n"
+                "  \"req_per_s\": %.1f,\n"
+                "  \"p50_ms\": %.4f,\n"
+                "  \"p99_ms\": %.4f,\n"
+                "  \"solved\": %llu,\n"
+                "  \"cache_hits\": %llu,\n"
+                "  \"dedup_joined\": %llu,\n"
+                "  \"daemon_p50_ms\": %.4f,\n"
+                "  \"daemon_p99_ms\": %.4f\n"
+                "}\n",
+                connections, static_cast<std::size_t>(total_requests), distinct, wall_ms,
+                req_per_s, quantile(all, 0.50), quantile(all, 0.99),
+                static_cast<unsigned long long>(stats.service.solved),
+                static_cast<unsigned long long>(stats.service.cache_hits),
+                static_cast<unsigned long long>(stats.service.dedup_joined),
+                stats.latency_p50_ms, stats.latency_p99_ms);
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("%s", json);
+  std::printf("service bench: %zu connections x %zu requests over %zu identities: "
+              "%.1f req/s, p50 %.3f ms, p99 %.3f ms, %llu solves\n",
+              connections, per_connection, distinct, req_per_s, quantile(all, 0.50),
+              quantile(all, 0.99), static_cast<unsigned long long>(stats.service.solved));
+  return 0;
+}

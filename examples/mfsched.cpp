@@ -59,9 +59,13 @@
 // — at most one solver invocation per distinct request identity, duplicate
 // answers bit-identical — with the counters to show who was answered by a
 // shared flight vs. the cache.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -83,6 +87,8 @@
 #include "exp/scenario.hpp"
 #include "exp/scenario_registry.hpp"
 #include "exp/sweep_io.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 #include "sim/simulator.hpp"
 #include "solve/cache.hpp"
 #include "solve/disk_cache.hpp"
@@ -110,9 +116,13 @@ int usage(const char* program) {
       "          [--retries K] [--dispatch-dir DIR] [--dispatch-timeout SECONDS]\n"
       "          [--inject-shard-failure I] [--scale K] [--scenario ID] [--seed S]\n"
       "          [--cache MODE] [--cache-dir DIR] [--out FILE]\n"
-      "       %s --cache-gc SIZE --cache-dir DIR\n"
+      "       %s --cache-gc SIZE [--cache-gc-ttl AGE] --cache-dir DIR\n"
       "       %s --serve-demo [--requests N] [--distinct K] [--method ID]\n"
       "          [--cache-dir DIR]\n"
+      "       %s --serve PORT [--threads N] [--max-pending N] [--rate-limit BURST]\n"
+      "          [--rate-refill PER_SEC] [--port-file FILE] [--cache-dir DIR]\n"
+      "       %s --connect HOST:PORT (--figure NAME | <problem-file> | --serve-stats)\n"
+      "          [--client-id ID] [--connections N]\n"
       "       %s --help\n"
       "--list            prints every registered solver id\n"
       "--list-scenarios  prints every registered failure-model scenario id\n"
@@ -131,14 +141,34 @@ int usage(const char* program) {
       "                  pointed at a populated dir re-solves nothing\n"
       "--cache-gc        shrinks --cache-dir to SIZE bytes (K/M/G suffixes),\n"
       "                  evicting least-recently-used entries first\n"
+      "--cache-gc-ttl    also expires entries unused for AGE (s/m/h/d suffixes,\n"
+      "                  e.g. 36h, 7d); usable alone or with --cache-gc\n"
       "--cache-stats     prints cache + solve-service counters after the run\n"
       "--serve-demo      concurrent request replay proving single-flight dedup\n"
+      "--serve           runs the scheduler daemon on PORT (0 = ephemeral; loopback\n"
+      "                  only); SIGTERM drains gracefully — stop accepting, finish\n"
+      "                  in-flight solves, report final counters\n"
+      "--max-pending     daemon admission cap: solves in flight across all clients\n"
+      "                  before new ones are refused with queue-full\n"
+      "--rate-limit      per-client token bucket: burst capacity in requests\n"
+      "                  (0 = unlimited); --rate-refill tokens/second restored\n"
+      "--rate-refill     see --rate-limit\n"
+      "--port-file       daemon writes its bound port here once listening\n"
+      "--threads         daemon solver-pool width (default: hardware concurrency)\n"
+      "--connect         sends work to a daemon instead of solving in-process:\n"
+      "                  --figure runs the sweep remotely (bit-identical table),\n"
+      "                  a problem file solves one instance, --serve-stats prints\n"
+      "                  the daemon's live counters\n"
+      "--serve-stats     with --connect: fetch and print the daemon's stats\n"
+      "--client-id       client identity for the daemon's rate limiter\n"
+      "--connections     parallel connections --connect uses for a sweep\n"
       "--fail-marker     testing hook: fail the run once, creating FILE; a rerun\n"
       "                  that finds FILE proceeds (exercises dispatch retries)\n"
       "--inject-shard-failure  testing hook: pass --fail-marker to shard I's\n"
       "                  first dispatch attempt\n",
       program, program, program, program, program, program, program, program, program,
-      mf::exp::figure_spec_names().c_str(), mf::exp::scenario_ids().c_str());
+      program, program, mf::exp::figure_spec_names().c_str(),
+      mf::exp::scenario_ids().c_str());
   return 2;
 }
 
@@ -163,8 +193,10 @@ int list_scenarios() {
 mf::solve::CachePolicy parse_cache_flag(const mf::support::CliArgs& args) {
   // --cache-dir without an explicit --cache policy implies read-write: a
   // persistent store that nothing writes to or reads from would make the
-  // flag silently inert.
-  const char* fallback = args.has("cache-dir") ? "rw" : "off";
+  // flag silently inert. --connect implies it too: the cache lives in the
+  // daemon, and requests stamped `off` would bypass it — repeats against a
+  // warm daemon must cost zero solves unless the client opts out.
+  const char* fallback = (args.has("cache-dir") || args.has("connect")) ? "rw" : "off";
   const std::string text = args.get("cache", fallback);
   const auto policy = mf::solve::cache_policy_from_string(text);
   if (!policy.has_value()) {
@@ -182,10 +214,13 @@ mf::solve::CachePolicy parse_cache_flag(const mf::support::CliArgs& args) {
 /// ("solved 0$"), so every mode must print it through this helper.
 void print_service_line(const mf::solve::ServiceStats& delta) {
   std::printf(
-      "service: submitted %llu, cache hits %llu, in-flight dedup %llu, solved %llu\n",
+      "service: submitted %llu, cache hits %llu, in-flight dedup %llu, rejected %llu "
+      "queue-full / %llu rate-limited, solved %llu\n",
       static_cast<unsigned long long>(delta.submitted),
       static_cast<unsigned long long>(delta.cache_hits),
       static_cast<unsigned long long>(delta.dedup_joined),
+      static_cast<unsigned long long>(delta.rejected_queue_full),
+      static_cast<unsigned long long>(delta.rejected_rate_limited),
       static_cast<unsigned long long>(delta.solved));
 }
 
@@ -237,6 +272,10 @@ class CacheScope {
     delta.submitted = service.submitted - service_before_.submitted;
     delta.cache_hits = service.cache_hits - service_before_.cache_hits;
     delta.dedup_joined = service.dedup_joined - service_before_.dedup_joined;
+    delta.rejected_queue_full =
+        service.rejected_queue_full - service_before_.rejected_queue_full;
+    delta.rejected_rate_limited =
+        service.rejected_rate_limited - service_before_.rejected_rate_limited;
     delta.solved = service.solved - service_before_.solved;
     print_service_line(delta);
   }
@@ -334,6 +373,24 @@ int run_figure(const mf::support::CliArgs& args) {
   options.cache = parse_cache_flag(args);
   CacheScope cache_scope(args);
   options.backend = cache_scope.backend();
+  // --connect reroutes every solve of the sweep to a scheduler daemon; the
+  // table is bit-identical either way (content-addressed seeds, canonical
+  // wire round-trip), so remote is purely an execution choice.
+  std::optional<mf::serve::RemoteExecutor> remote;
+  if (args.has("connect")) {
+    const auto target = mf::serve::parse_host_port(args.get("connect", ""));
+    if (!target.has_value()) {
+      std::fprintf(stderr, "error: --connect expects HOST:PORT\n");
+      return 2;
+    }
+    mf::serve::RemoteExecutorOptions remote_options;
+    remote_options.host = target->first;
+    remote_options.port = target->second;
+    remote_options.connections = static_cast<std::size_t>(args.get_int("connections", 0));
+    remote_options.client_id = args.get("client-id", "mfsched");
+    remote.emplace(std::move(remote_options));
+    options.executor = &*remote;
+  }
   const std::string shard_text = args.get("shard", "");
   if (!shard_text.empty()) {
     unsigned long long index = 0;
@@ -377,7 +434,9 @@ int run_figure(const mf::support::CliArgs& args) {
     std::printf("shard %zu/%zu: %zu trial outcomes over %zu points written to %s\n",
                 options.shard.index, options.shard.count, outcomes, result.points.size(),
                 out.c_str());
-    if (wants_cache_stats(args, options.cache)) cache_scope.print_delta();
+    if (wants_cache_stats(args, options.cache) && !remote.has_value()) {
+      cache_scope.print_delta();
+    }
     return 0;
   }
 
@@ -388,7 +447,11 @@ int run_figure(const mf::support::CliArgs& args) {
     cache_scope.reset_baseline();
     const mf::exp::SweepResult result = mf::exp::run_sweep(spec, options, &pool);
     print_sweep(result);
-    if (wants_cache_stats(args, options.cache)) cache_scope.print_delta();
+    // Remote runs execute in the daemon, where the cache and its counters
+    // live; the local scope would read all-zero. --serve-stats reports them.
+    if (wants_cache_stats(args, options.cache) && !remote.has_value()) {
+      cache_scope.print_delta();
+    }
     if (!out.empty() && !write_sweep_file(result, out)) return 1;
   }
   return 0;
@@ -513,30 +576,198 @@ std::optional<std::uint64_t> parse_size_bytes(const std::string& text) {
   return static_cast<std::uint64_t>(value) * multiplier;
 }
 
+/// Parses "90s", "30m", "36h", "7d" (bare digits = seconds) into a
+/// duration; nullopt on anything else, including multiplications that
+/// overflow (a wrapped TTL would expire everything).
+std::optional<std::chrono::seconds> parse_age_seconds(const std::string& text) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || errno == ERANGE) return std::nullopt;
+  const std::string suffix(end);
+  std::uint64_t multiplier = 1;
+  if (suffix == "m") {
+    multiplier = 60;
+  } else if (suffix == "h") {
+    multiplier = 3600;
+  } else if (suffix == "d") {
+    multiplier = 86400;
+  } else if (!suffix.empty() && suffix != "s") {
+    return std::nullopt;
+  }
+  if (value > std::numeric_limits<std::uint64_t>::max() / multiplier) {
+    return std::nullopt;
+  }
+  return std::chrono::seconds(static_cast<std::int64_t>(value * multiplier));
+}
+
 /// `--cache-gc SIZE --cache-dir DIR`: shrink the persistent store to the
 /// cap, evicting least-recently-used entries (LRU by mtime; lookups
 /// refresh it), so long campaigns can share one directory indefinitely.
+/// `--cache-gc-ttl AGE` adds (or stands alone as) the TTL sweep: entries
+/// unused for longer than AGE go regardless of the cap.
 int run_cache_gc(const mf::support::CliArgs& args) {
   const std::string dir = args.get("cache-dir", "");
   if (dir.empty()) {
     std::fprintf(stderr, "error: --cache-gc needs --cache-dir DIR\n");
     return 2;
   }
-  const std::optional<std::uint64_t> cap = parse_size_bytes(args.get("cache-gc", ""));
-  if (!cap.has_value()) {
-    std::fprintf(stderr, "error: --cache-gc expects a size like 64M (K/M/G suffixes)\n");
-    return 2;
+  // --cache-gc-ttl alone means "expire by age, cap nothing".
+  std::uint64_t cap_bytes = std::numeric_limits<std::uint64_t>::max();
+  if (args.has("cache-gc")) {
+    const std::optional<std::uint64_t> cap = parse_size_bytes(args.get("cache-gc", ""));
+    if (!cap.has_value()) {
+      std::fprintf(stderr, "error: --cache-gc expects a size like 64M (K/M/G suffixes)\n");
+      return 2;
+    }
+    cap_bytes = *cap;
+  }
+  std::chrono::seconds max_age = std::chrono::seconds::zero();
+  if (args.has("cache-gc-ttl")) {
+    const std::optional<std::chrono::seconds> age =
+        parse_age_seconds(args.get("cache-gc-ttl", ""));
+    if (!age.has_value()) {
+      std::fprintf(stderr,
+                   "error: --cache-gc-ttl expects an age like 36h or 7d (s/m/h/d)\n");
+      return 2;
+    }
+    max_age = *age;
   }
   try {
     mf::solve::DiskCache cache(dir);
-    const mf::solve::DiskGcReport report = cache.gc(*cap);
+    const mf::solve::DiskGcReport report = cache.gc(cap_bytes, max_age);
     std::printf(
         "cache-gc [%s]: cap %llu bytes; kept %zu entries (%llu bytes), removed %zu "
-        "entries (%llu bytes), swept %zu stale temp files\n",
-        cache.describe().c_str(), static_cast<unsigned long long>(*cap),
+        "entries (%llu bytes, %zu expired by ttl), swept %zu stale temp files\n",
+        cache.describe().c_str(), static_cast<unsigned long long>(cap_bytes),
         report.entries_kept, static_cast<unsigned long long>(report.bytes_kept),
         report.entries_removed, static_cast<unsigned long long>(report.bytes_removed),
-        report.stale_temps_removed);
+        report.entries_expired, report.stale_temps_removed);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
+/// Self-pipe for the daemon's graceful shutdown: a signal handler may only
+/// do async-signal-safe work, so it writes one byte here and the serve
+/// loop — blocked reading the other end — runs the actual drain.
+int g_drain_pipe[2] = {-1, -1};
+
+extern "C" void serve_signal_handler(int) {
+  const char byte = 1;
+  [[maybe_unused]] const auto ignored = ::write(g_drain_pipe[1], &byte, 1);
+}
+
+/// `--serve PORT`: run the scheduler daemon until SIGTERM/SIGINT, then
+/// drain — stop accepting, refuse new solves, finish and flush what is in
+/// flight — and report the final counters.
+int run_serve(const mf::support::CliArgs& args) {
+  const std::int64_t port = args.get_int("serve", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "error: --serve expects a port in [0, 65535] (0 = ephemeral)\n");
+    return 2;
+  }
+  CacheScope cache_scope(args);
+  mf::serve::DaemonOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.threads = static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("threads", 0)));
+  options.max_pending =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("max-pending", 256)));
+  options.rate_capacity = args.get_double("rate-limit", 0.0);
+  options.rate_refill_per_sec = args.get_double("rate-refill", 1.0);
+  options.cache = cache_scope.backend();
+
+  mf::serve::Daemon daemon(options);
+  try {
+    daemon.start();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  std::printf("serve: listening on 127.0.0.1:%u (max pending %zu, rate limit %s)\n",
+              static_cast<unsigned>(daemon.port()), options.max_pending,
+              options.rate_capacity > 0.0
+                  ? (std::to_string(options.rate_capacity) + " burst").c_str()
+                  : "off");
+  std::fflush(stdout);
+
+  const std::string port_file = args.get("port-file", "");
+  if (!port_file.empty()) {
+    // Written only once the socket listens: a supervisor polling for this
+    // file never reads a port that isn't accepting yet.
+    std::ofstream out(port_file);
+    out << daemon.port() << "\n";
+  }
+
+  if (::pipe(g_drain_pipe) != 0) {
+    std::fprintf(stderr, "error: pipe() failed\n");
+    return 1;
+  }
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+
+  char byte = 0;
+  while (::read(g_drain_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("serve: draining (finishing in-flight solves)\n");
+  std::fflush(stdout);
+  daemon.drain();
+  daemon.wait();
+
+  const mf::serve::DaemonStatsSnapshot stats = daemon.stats_snapshot();
+  std::printf("serve: drained; %llu connections served, %llu requests completed, "
+              "latency p50 %.3f ms / p99 %.3f ms\n",
+              static_cast<unsigned long long>(stats.connections_total),
+              static_cast<unsigned long long>(stats.service.completed),
+              stats.latency_p50_ms, stats.latency_p99_ms);
+  cache_scope.print_delta();
+  return 0;
+}
+
+/// `--connect HOST:PORT --serve-stats`: print a live daemon's counters.
+int run_remote_stats(const mf::support::CliArgs& args) {
+  const auto target = mf::serve::parse_host_port(args.get("connect", ""));
+  if (!target.has_value()) {
+    std::fprintf(stderr, "error: --serve-stats needs --connect HOST:PORT\n");
+    return 2;
+  }
+  try {
+    mf::serve::Client client(target->first, target->second);
+    const std::optional<mf::serve::DaemonStatsSnapshot> stats = client.stats();
+    if (!stats.has_value()) {
+      std::fprintf(stderr, "error: daemon returned an unparsable stats response\n");
+      return 1;
+    }
+    std::printf("daemon service: submitted %llu, completed %llu, solved %llu, cache hits "
+                "%llu, in-flight dedup %llu, rejected %llu queue-full / %llu rate-limited\n",
+                static_cast<unsigned long long>(stats->service.submitted),
+                static_cast<unsigned long long>(stats->service.completed),
+                static_cast<unsigned long long>(stats->service.solved),
+                static_cast<unsigned long long>(stats->service.cache_hits),
+                static_cast<unsigned long long>(stats->service.dedup_joined),
+                static_cast<unsigned long long>(stats->service.rejected_queue_full),
+                static_cast<unsigned long long>(stats->service.rejected_rate_limited));
+    std::printf("daemon cache: %llu hits / %llu misses, %llu insertions, %zu resident "
+                "(%llu bytes)\n",
+                static_cast<unsigned long long>(stats->cache.hits),
+                static_cast<unsigned long long>(stats->cache.misses),
+                static_cast<unsigned long long>(stats->cache.insertions), stats->cache.size,
+                static_cast<unsigned long long>(stats->cache.bytes));
+    std::printf("daemon load: %llu active connections (%llu total), %llu pending, "
+                "pool %llu queued / %llu running\n",
+                static_cast<unsigned long long>(stats->connections_active),
+                static_cast<unsigned long long>(stats->connections_total),
+                static_cast<unsigned long long>(stats->pending),
+                static_cast<unsigned long long>(stats->pool_queue_depth),
+                static_cast<unsigned long long>(stats->pool_in_flight));
+    std::printf("daemon latency: %llu samples, p50 %.3f ms, p90 %.3f ms, p99 %.3f ms\n",
+                static_cast<unsigned long long>(stats->latency_count),
+                stats->latency_p50_ms, stats->latency_p90_ms, stats->latency_p99_ms);
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
@@ -714,7 +945,9 @@ int main(int argc, char** argv) {
   }
   if (args.has("list")) return list_solvers();
   if (args.has("list-scenarios")) return list_scenarios();
-  if (args.has("cache-gc")) return run_cache_gc(args);
+  if (args.has("cache-gc") || args.has("cache-gc-ttl")) return run_cache_gc(args);
+  if (args.has("serve")) return run_serve(args);
+  if (args.has("serve-stats")) return run_remote_stats(args);
   if (args.has("dispatch")) return run_dispatch(args);
   if (args.has("figure")) return run_figure(args);
   if (args.has("merge")) return run_merge(args);
@@ -755,15 +988,41 @@ int main(int argc, char** argv) {
     params.max_nodes = static_cast<std::uint64_t>(args.get_int("budget", 0));
   }
 
-  // The single-solve path rides the same async service the sweeps and any
-  // future server use: submit one request, wait on its future.
+  // The single-solve path rides the same async service the sweeps and the
+  // scheduler daemon use: submit one request, wait on its future. With
+  // --connect, the identical request goes to a daemon instead — admission
+  // rejections (queue-full, rate-limited) surface as errors, not retries.
   CacheScope cache_scope(args);
   const mf::solve::SolveResult result = [&] {
+    mf::solve::SolveRequest request;
+    request.problem = std::make_shared<const mf::core::Problem>(problem);
+    request.solver_id = method;
+    request.params = params;
+    if (args.has("connect")) {
+      const auto target = mf::serve::parse_host_port(args.get("connect", ""));
+      if (!target.has_value()) {
+        std::fprintf(stderr, "error: --connect expects HOST:PORT\n");
+        std::exit(2);
+      }
+      try {
+        mf::serve::Client client(target->first, target->second);
+        mf::serve::WireRequest wire;
+        wire.client_id = args.get("client-id", "mfsched");
+        wire.request = std::move(request);
+        wire.request.derive_stream_seed = false;
+        const mf::serve::Client::Outcome outcome = client.solve(wire);
+        if (!outcome.ok) {
+          std::fprintf(stderr, "error: daemon refused solve: %s: %s\n",
+                       outcome.error_code.c_str(), outcome.detail.c_str());
+          std::exit(1);
+        }
+        return outcome.result;
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        std::exit(1);
+      }
+    }
     try {
-      mf::solve::SolveRequest request;
-      request.problem = std::make_shared<const mf::core::Problem>(problem);
-      request.solver_id = method;
-      request.params = params;
       mf::solve::SolveService service(nullptr, cache_scope.backend());
       return service.submit(std::move(request)).get();
     } catch (const std::invalid_argument& error) {

@@ -113,8 +113,15 @@ std::vector<TrialOutcome> evaluate_trials(const SweepSpec& spec, const Scenario&
     }
   }
 
-  const std::vector<solve::SolveResult> results =
-      solve::BatchSolver(pool, options.backend).solve_all(requests);
+  // The executor seam: a sweep does not care where solving happens. The
+  // default is the in-process batch engine; `options.executor` reroutes the
+  // same requests (content-addressed seeds and all) to, e.g., a scheduler
+  // daemon — the outcomes, and therefore the table, are bit-identical.
+  solve::BatchSolver local(pool, options.backend);
+  solve::SolveExecutor& executor =
+      options.executor != nullptr ? static_cast<solve::SolveExecutor&>(*options.executor)
+                                  : local;
+  const std::vector<solve::SolveResult> results = executor.solve_all(requests);
 
   std::vector<TrialOutcome> outcomes(trials.size());
   for (std::size_t t = 0; t < trials.size(); ++t) {

@@ -39,6 +39,7 @@
 
 namespace mf::solve {
 class CacheBackend;
+class SolveExecutor;
 }
 
 namespace mf::exp {
@@ -96,6 +97,14 @@ struct SweepOptions {
   /// survives the process: a fresh run re-solves nothing a prior run
   /// stored. Must outlive the sweep.
   solve::CacheBackend* backend = nullptr;
+  /// Where the sweep's solve batches execute; null means a local
+  /// `BatchSolver` over `pool`/`backend`. Point it at a
+  /// `serve::RemoteExecutor` and every (trial, method) solve ships to a
+  /// scheduler daemon instead — the table is bit-identical either way,
+  /// because requests carry content-addressed seeds and the wire round-trip
+  /// is hexfloat-exact. Must outlive the sweep; `pool`/`backend` are
+  /// ignored for solving when set.
+  solve::SolveExecutor* executor = nullptr;
 };
 
 /// Raw outcome of one paired trial: either every method counted (success,

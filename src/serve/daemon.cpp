@@ -1,0 +1,252 @@
+#include "serve/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/digest.hpp"
+#include "solve/cache_backend.hpp"
+#include "solve/disk_cache.hpp"
+#include "solve/solver.hpp"
+
+namespace mf::serve {
+
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(options),
+      pool_(std::make_unique<support::ThreadPool>(
+          options.threads == 0 ? support::default_thread_count() : options.threads)),
+      service_(std::make_unique<solve::SolveService>(pool_.get(), options.cache)),
+      limiter_(options.rate_capacity, options.rate_refill_per_sec) {}
+
+Daemon::~Daemon() {
+  drain();
+  wait();
+}
+
+void Daemon::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string detail = std::strerror(errno);
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot bind port " + std::to_string(options_.port) +
+                             ": " + detail);
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: listen() failed");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Daemon::drain() {
+  if (draining_.exchange(true)) return;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    // shutdown(2), not close(2): it pops the accept thread out of
+    // accept(2) without retiring the descriptor number, so there is no
+    // window where another thread's fresh fd could be mistaken for the
+    // listen socket. wait() closes it after the accept thread has joined.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    // Nudge connections blocked in read_frame: SHUT_RD makes their next
+    // read return EOF. Write sides stay open, so a thread mid-solve still
+    // flushes its response before it notices the drain.
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+  }
+}
+
+void Daemon::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+DaemonStatsSnapshot Daemon::stats_snapshot() const {
+  DaemonStatsSnapshot stats;
+  stats.service = service_->stats();
+  stats.cache = service_->backend().stats();
+  stats.connections_active = connections_active_.load(std::memory_order_relaxed);
+  stats.connections_total = connections_total_.load(std::memory_order_relaxed);
+  stats.pending = pending_.load(std::memory_order_relaxed);
+  stats.pool_queue_depth = pool_->queue_depth();
+  stats.pool_in_flight = pool_->in_flight();
+  stats.latency_count = latency_.count();
+  stats.latency_p50_ms = latency_.quantile_ms(0.50);
+  stats.latency_p90_ms = latency_.quantile_ms(0.90);
+  stats.latency_p99_ms = latency_.quantile_ms(0.99);
+  return stats;
+}
+
+double Daemon::now_seconds() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Daemon::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // listen_fd_ was closed by drain(), or the socket died — either way
+      // the daemon stops taking new connections.
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(threads_mutex_);
+      if (draining_.load(std::memory_order_relaxed)) {
+        // Lost the race with drain(): refuse politely instead of serving.
+        (void)write_frame(fd, {FrameType::kError,
+                               error_body(kErrDraining, "daemon is draining")});
+        close_quietly(fd);
+        continue;
+      }
+      connection_fds_.insert(fd);
+      connection_threads_.emplace_back([this, fd] { connection_loop(fd); });
+    }
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Daemon::connection_loop(int fd) {
+  for (;;) {
+    const ReadResult incoming = read_frame(fd, options_.max_frame_bytes);
+    if (incoming.status == ReadStatus::kClosed) break;
+    if (incoming.status == ReadStatus::kTooLarge) {
+      // The declared body was never read, so the stream is out of sync:
+      // answer and hang up.
+      (void)write_frame(fd, {FrameType::kError, error_body(kErrTooLarge, incoming.detail)});
+      break;
+    }
+    if (incoming.status == ReadStatus::kMalformed) {
+      (void)write_frame(fd,
+                        {FrameType::kError, error_body(kErrBadRequest, incoming.detail)});
+      break;
+    }
+
+    Frame response;
+    switch (incoming.frame.type) {
+      case FrameType::kPing:
+        response = {FrameType::kOk, "pong\n"};
+        break;
+      case FrameType::kStats:
+        response = {FrameType::kOk, stats_to_text(stats_snapshot())};
+        break;
+      case FrameType::kSolve:
+        response = handle_solve(incoming.frame.body);
+        break;
+      case FrameType::kOk:
+      case FrameType::kError:
+        // Response types are not requests; a peer sending one is confused.
+        response = {FrameType::kError,
+                    error_body(kErrBadRequest, "frame type '" +
+                                                   to_string(incoming.frame.type) +
+                                                   "' is not a request")};
+        break;
+    }
+    if (!write_frame(fd, response)) break;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    connection_fds_.erase(fd);
+  }
+  close_quietly(fd);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Frame Daemon::handle_solve(const std::string& body) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    return {FrameType::kError, error_body(kErrDraining, "daemon is draining")};
+  }
+
+  std::optional<WireRequest> wire = request_from_text(body);
+  if (!wire.has_value()) {
+    return {FrameType::kError, error_body(kErrBadRequest, "malformed solve request body")};
+  }
+
+  if (!limiter_.try_acquire(wire->client_id, now_seconds())) {
+    service_->note_rejected_rate_limited();
+    return {FrameType::kError,
+            error_body(kErrRateLimited,
+                       "client '" + wire->client_id + "' exceeded its request budget")};
+  }
+
+  // Bounded pending queue: claim a slot or reject. fetch_add/fetch_sub
+  // keeps the fast path lock-free; a transient overshoot under contention
+  // only rejects, never over-admits by more than the racing claimants.
+  if (pending_.fetch_add(1, std::memory_order_relaxed) >= options_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    service_->note_rejected_queue_full();
+    return {FrameType::kError,
+            error_body(kErrQueueFull,
+                       "pending queue at capacity (" +
+                           std::to_string(options_.max_pending) + ")")};
+  }
+
+  Frame response;
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    // The response body needs the canonical key even when the request's
+    // cache policy is kOff (submit() builds none then) — compute it here,
+    // from exactly the fields submit() would use.
+    const solve::CacheKey key =
+        solve::make_cache_key(core::digest(*wire->request.problem),
+                              solve::effective_solver_id(wire->request.solver_id,
+                                                         wire->request.params),
+                              wire->request.params);
+    const solve::SolveResult result = service_->submit(std::move(wire->request)).get();
+    response = {FrameType::kOk, solve::entry_to_text(key, result)};
+  } catch (const std::invalid_argument& error) {
+    response = {FrameType::kError, error_body(kErrBadRequest, error.what())};
+  } catch (const std::exception& error) {
+    response = {FrameType::kError, error_body(kErrInternal, error.what())};
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  latency_.record_us(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return response;
+}
+
+}  // namespace mf::serve

@@ -1,0 +1,124 @@
+// The scheduler daemon: a TCP front end over one shared `SolveService`.
+//
+// One daemon owns one thread pool, one cache backend view, and one
+// `SolveService` — every connection funnels into the same single-flight
+// table and tiered cache, so N clients asking for the same figure sweep
+// cost one solve per distinct identity, exactly as if they shared a
+// process.
+//
+// Model: one accept thread plus one thread per connection. A connection
+// thread blocks in `read_frame`, answers `ping`/`stats` inline, and for
+// `solve` runs the admission gauntlet (drain flag → rate limiter → bounded
+// pending counter) before `submit()`; the future's `.get()` blocks the
+// connection thread while the pool solves, which is the natural
+// backpressure — a client gets its answer before its next request is read.
+//
+// Shutdown is a drain, not an abort: `drain()` closes the listen socket
+// (no new connections), marks the daemon draining (new solve frames are
+// refused with `draining`), and shuts down the read side of idle
+// connections; in-flight solves complete and their responses flush before
+// the connection threads exit. `wait()` joins everything.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "serve/latency.hpp"
+#include "serve/protocol.hpp"
+#include "serve/rate_limiter.hpp"
+#include "solve/service.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mf::serve {
+
+struct DaemonOptions {
+  /// TCP port to listen on (loopback only); 0 picks an ephemeral port —
+  /// read it back with `port()` (the in-process mode tests and the bench
+  /// run in).
+  std::uint16_t port = 0;
+  /// Solver pool width; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Admission control: solve requests admitted but not yet answered,
+  /// across all connections. At the cap, new solves are refused with
+  /// `queue-full`.
+  std::size_t max_pending = 256;
+  /// Per-client token bucket: burst capacity in requests; <= 0 disables
+  /// rate limiting.
+  double rate_capacity = 0.0;
+  /// Tokens restored per second once a client has burned its burst.
+  double rate_refill_per_sec = 0.0;
+  /// Largest frame body accepted from a client.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Cache backend the service uses; nullptr = the process-wide
+  /// `ResultCache::global()`. Point it at a `TieredCache` over a
+  /// `DiskCache` for a warm-across-restarts daemon.
+  solve::CacheBackend* cache = nullptr;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Drains and joins; a destroyed daemon has no live threads.
+  ~Daemon();
+
+  /// Binds, listens, and starts the accept thread. Throws
+  /// `std::runtime_error` when the port cannot be bound.
+  void start();
+
+  /// The bound port (after `start()`); the ephemeral port when
+  /// options.port was 0.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Begins graceful shutdown: stop accepting, refuse new solves with
+  /// `draining`, nudge idle connections closed. Idempotent; safe from any
+  /// thread (it is the SIGTERM path).
+  void drain();
+
+  /// Blocks until the accept thread and every connection thread have
+  /// exited (i.e. after `drain()`, until in-flight work has finished and
+  /// flushed).
+  void wait();
+
+  /// Everything the `stats` endpoint reports, readable in-process too.
+  [[nodiscard]] DaemonStatsSnapshot stats_snapshot() const;
+
+  [[nodiscard]] solve::SolveService& service() noexcept { return *service_; }
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+  /// Handles one solve frame; returns the response frame. `client_fd` only
+  /// for diagnostics.
+  [[nodiscard]] Frame handle_solve(const std::string& body);
+  [[nodiscard]] static double now_seconds() noexcept;
+
+  DaemonOptions options_;
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::unique_ptr<solve::SolveService> service_;
+  RateLimiter limiter_;
+  LatencyHistogram latency_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> connections_active_{0};
+
+  std::thread accept_thread_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::unordered_set<int> connection_fds_;
+};
+
+}  // namespace mf::serve

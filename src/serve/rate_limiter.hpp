@@ -1,0 +1,66 @@
+// Per-client token-bucket rate limiting for the scheduler daemon.
+//
+// Each client id owns one bucket: `capacity` tokens, refilled continuously
+// at `refill_per_sec`. A solve request costs one token; a request that
+// finds the bucket empty is rejected with `rate-limited` — the client is
+// told to back off, the daemon never queues on its behalf. Buckets start
+// full, so a well-behaved client's first burst (up to `capacity` requests)
+// is always admitted.
+//
+// Time is injected by the caller (a monotonic timestamp in seconds), which
+// keeps the arithmetic deterministic under test: the daemon passes a
+// steady_clock reading, the tests pass literals.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace mf::serve {
+
+/// A registry of per-client token buckets. Thread-safe; the daemon calls
+/// `try_acquire` from every connection thread.
+class RateLimiter {
+ public:
+  /// `capacity` ≤ 0 disables limiting entirely (every acquire succeeds).
+  RateLimiter(double capacity, double refill_per_sec)
+      : capacity_(capacity), refill_per_sec_(refill_per_sec) {}
+
+  /// Takes one token from `client_id`'s bucket at monotonic time
+  /// `now_seconds`; false when the bucket is empty (reject the request).
+  [[nodiscard]] bool try_acquire(const std::string& client_id, double now_seconds) {
+    if (capacity_ <= 0.0) return true;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = buckets_.try_emplace(client_id, Bucket{capacity_, now_seconds});
+    Bucket& bucket = it->second;
+    if (!inserted) {
+      const double elapsed = std::max(0.0, now_seconds - bucket.last_refill);
+      bucket.tokens = std::min(capacity_, bucket.tokens + elapsed * refill_per_sec_);
+      bucket.last_refill = now_seconds;
+    }
+    if (bucket.tokens < 1.0) return false;
+    bucket.tokens -= 1.0;
+    return true;
+  }
+
+  /// Number of distinct client ids seen so far.
+  [[nodiscard]] std::size_t clients() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return buckets_.size();
+  }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double last_refill = 0.0;
+  };
+
+  const double capacity_;
+  const double refill_per_sec_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace mf::serve

@@ -3,7 +3,7 @@
 namespace mf::solve {
 
 std::vector<SolveResult> BatchSolver::solve_all(
-    const std::vector<SolveRequest>& requests) const {
+    const std::vector<SolveRequest>& requests) {
   SolveService service(pool_, cache_);
   return service.solve_all(requests);
 }

@@ -17,7 +17,7 @@
 
 namespace mf::solve {
 
-class BatchSolver {
+class BatchSolver final : public SolveExecutor {
  public:
   /// `pool` may be null for serial execution; results are identical either
   /// way (modulo wall-time diagnostics). `cache` overrides the process-wide
@@ -34,7 +34,7 @@ class BatchSolver {
   /// request's result becomes Status::kError with the message in
   /// diagnostics.note, so one bad request cannot kill a 10k-request sweep.
   [[nodiscard]] std::vector<SolveResult> solve_all(
-      const std::vector<SolveRequest>& requests) const;
+      const std::vector<SolveRequest>& requests) override;
 
   /// The per-request seed stream: requests sharing one base seed still get
   /// statistically independent RNG streams, and the stream depends only on

@@ -306,7 +306,7 @@ CacheStats DiskCache::stats() const {
   return stats;
 }
 
-DiskGcReport DiskCache::gc(std::uint64_t max_bytes) {
+DiskGcReport DiskCache::gc(std::uint64_t max_bytes, std::chrono::seconds max_age) {
   struct Entry {
     std::filesystem::path path;
     std::filesystem::file_time_type mtime;
@@ -344,6 +344,36 @@ DiskGcReport DiskCache::gc(std::uint64_t max_bytes) {
 
   report.entries_before = entries.size();
   for (const Entry& entry : entries) report.bytes_before += entry.bytes;
+
+  // TTL sweep first: an entry nobody used for `max_age` is dead weight no
+  // matter how much room the byte cap leaves. mtime tracks last *use*
+  // (lookups refresh it), so a hot entry never expires under a TTL longer
+  // than its access interval. Runs before the cap so expired bytes don't
+  // crowd live entries out of the recency prefix below.
+  if (max_age > std::chrono::seconds::zero()) {
+    std::vector<Entry> live;
+    live.reserve(entries.size());
+    for (Entry& entry : entries) {
+      if (now - entry.mtime <= max_age) {
+        live.push_back(std::move(entry));
+        continue;
+      }
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path, remove_ec);
+      std::error_code exists_ec;
+      if (remove_ec && std::filesystem::exists(entry.path, exists_ec)) {
+        // Undeletable (permissions on a shared dir): still resident, so it
+        // must keep competing for the byte cap like any live entry.
+        live.push_back(std::move(entry));
+        continue;
+      }
+      ++report.entries_removed;
+      ++report.entries_expired;
+      report.bytes_removed += entry.bytes;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entries = std::move(live);
+  }
 
   // True LRU: survivors are a recency *prefix*. Walking newest-first, the
   // first entry that overflows the cap marks the cutoff — it and everything

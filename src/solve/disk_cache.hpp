@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <optional>
@@ -32,11 +33,13 @@ namespace mf::solve {
 
 /// What one `DiskCache::gc` pass did. `bytes_kept` is what survives under
 /// the cap; `stale_temps_removed` counts crash-leftover temp files swept as
-/// a side effect.
+/// a side effect. `entries_expired` is the subset of `entries_removed` that
+/// fell to the TTL (older than `max_age`) rather than the byte cap.
 struct DiskGcReport {
   std::size_t entries_before = 0;
   std::size_t entries_kept = 0;
   std::size_t entries_removed = 0;
+  std::size_t entries_expired = 0;
   std::uint64_t bytes_before = 0;
   std::uint64_t bytes_kept = 0;
   std::uint64_t bytes_removed = 0;
@@ -71,13 +74,17 @@ class DiskCache final : public CacheBackend {
   [[nodiscard]] CacheStats stats() const override;
   /// Shrinks the directory to at most `max_bytes` of entry files, deleting
   /// least-recently-used entries first (LRU by file mtime; lookups refresh
-  /// it). Deletion is per-file atomic, so a concurrent reader of an evicted
-  /// entry degrades to a miss — the same contract as crash-safe writes. An
-  /// entry *being written* lives in a temp file and is never touched;
-  /// abandoned temp files (older than an hour — a crashed writer, not a
-  /// live one) are swept as a side effect. Safe to run while workers share
-  /// the directory.
-  DiskGcReport gc(std::uint64_t max_bytes);
+  /// it). A nonzero `max_age` adds the TTL sweep: entries not used for
+  /// longer than `max_age` are deleted regardless of how much room the cap
+  /// leaves (pass `max_bytes = UINT64_MAX` for a pure-TTL pass). Deletion
+  /// is per-file atomic, so a concurrent reader of an evicted entry
+  /// degrades to a miss — the same contract as crash-safe writes. An entry
+  /// *being written* lives in a temp file and is never touched by either
+  /// policy; abandoned temp files (older than an hour — a crashed writer,
+  /// not a live one) are swept as a side effect. Safe to run while workers
+  /// share the directory.
+  DiskGcReport gc(std::uint64_t max_bytes,
+                  std::chrono::seconds max_age = std::chrono::seconds::zero());
   /// Removes every entry file (and stale temp files) in the directory.
   void clear() override;
   [[nodiscard]] std::string describe() const override;

@@ -22,6 +22,8 @@ struct ProcessCounters {
   std::atomic<std::uint64_t> solved{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> dedup_joined{0};
+  std::atomic<std::uint64_t> rejected_queue_full{0};
+  std::atomic<std::uint64_t> rejected_rate_limited{0};
 };
 
 ProcessCounters& process_counters() {
@@ -276,6 +278,16 @@ std::vector<SolveResult> SolveService::solve_all(
   return results;
 }
 
+void SolveService::note_rejected_queue_full() noexcept {
+  rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+  process_counters().rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SolveService::note_rejected_rate_limited() noexcept {
+  rejected_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+  process_counters().rejected_rate_limited.fetch_add(1, std::memory_order_relaxed);
+}
+
 ServiceStats SolveService::stats() const {
   ServiceStats stats;
   stats.submitted = submitted_.load(std::memory_order_relaxed);
@@ -283,6 +295,8 @@ ServiceStats SolveService::stats() const {
   stats.solved = solved_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.dedup_joined = dedup_joined_.load(std::memory_order_relaxed);
+  stats.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  stats.rejected_rate_limited = rejected_rate_limited_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -294,6 +308,10 @@ ServiceStats SolveService::process_stats() {
   stats.solved = counters.solved.load(std::memory_order_relaxed);
   stats.cache_hits = counters.cache_hits.load(std::memory_order_relaxed);
   stats.dedup_joined = counters.dedup_joined.load(std::memory_order_relaxed);
+  stats.rejected_queue_full =
+      counters.rejected_queue_full.load(std::memory_order_relaxed);
+  stats.rejected_rate_limited =
+      counters.rejected_rate_limited.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -70,9 +70,30 @@ struct ServiceStats {
   std::uint64_t solved = 0;        ///< actual Solver::solve invocations
   std::uint64_t cache_hits = 0;    ///< requests answered from the backend
   std::uint64_t dedup_joined = 0;  ///< requests attached to an in-flight twin
+  /// Admission-control rejections. The service itself never rejects — a
+  /// front end (the scheduler daemon, serve/daemon.hpp) refuses the request
+  /// before it reaches submit() and records the refusal here, so one stats
+  /// struct describes everything a client experienced.
+  std::uint64_t rejected_queue_full = 0;    ///< bounded pending queue was full
+  std::uint64_t rejected_rate_limited = 0;  ///< client exceeded its token bucket
 };
 
-class SolveService {
+/// The execution seam consumers program against when they don't care WHERE
+/// solving happens: `SolveService` (and its `BatchSolver` face) solves
+/// in-process; `serve::RemoteExecutor` ships every request to a scheduler
+/// daemon over TCP. `exp::SweepOptions::executor` accepts any of them, so a
+/// figure sweep runs bit-identically against either.
+class SolveExecutor {
+ public:
+  virtual ~SolveExecutor() = default;
+
+  /// Solves every request; `results[i]` corresponds to `requests[i]`.
+  /// Per-request failures become Status::kError results, never exceptions.
+  [[nodiscard]] virtual std::vector<SolveResult> solve_all(
+      const std::vector<SolveRequest>& requests) = 0;
+};
+
+class SolveService : public SolveExecutor {
  public:
   /// `pool` may be null: submit() then completes the solve synchronously
   /// before returning its (already-ready) future, which is the serial
@@ -102,7 +123,13 @@ class SolveService {
   /// Status::kError results so one bad request cannot kill a 10k-request
   /// sweep.
   [[nodiscard]] std::vector<SolveResult> solve_all(
-      const std::vector<SolveRequest>& requests);
+      const std::vector<SolveRequest>& requests) override;
+
+  /// Records an admission-control rejection against this service (and the
+  /// process totals). Called by the front end that refused the request —
+  /// the request never reached submit(), so nothing else counts it.
+  void note_rejected_queue_full() noexcept;
+  void note_rejected_rate_limited() noexcept;
 
   /// This instance's counters.
   [[nodiscard]] ServiceStats stats() const;
@@ -165,6 +192,8 @@ class SolveService {
   std::atomic<std::uint64_t> solved_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> dedup_joined_{0};
+  std::atomic<std::uint64_t> rejected_queue_full_{0};
+  std::atomic<std::uint64_t> rejected_rate_limited_{0};
 };
 
 }  // namespace mf::solve

@@ -59,6 +59,16 @@ std::future<void> ThreadPool::submit(UniqueFunction task) {
   return future;
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::in_flight() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });

@@ -76,6 +76,13 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Load gauges an admission-control front end (serve/daemon.hpp) reads
+  /// before accepting more work: tasks enqueued but not yet started, and
+  /// tasks currently executing on a worker. Point-in-time snapshots — two
+  /// reads need not be consistent with each other.
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t in_flight() const;
+
   /// Fire-and-forget enqueue. The task must deliver its outcome itself
   /// (e.g. through a promise it owns) and must not throw — an escaping
   /// exception terminates the process, there is no future to carry it.
@@ -92,7 +99,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<UniqueFunction> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t in_flight_ = 0;

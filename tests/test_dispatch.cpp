@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -438,6 +439,75 @@ TEST_F(DiskGcTest, NeverDeletesAnEntryBeingWritten) {
   EXPECT_TRUE(fs::exists(fresh_temp));
   EXPECT_FALSE(fs::exists(stale_temp));
   EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST_F(DiskGcTest, TtlExpiresUnusedEntriesRegardlessOfCap) {
+  solve::DiskCache cache(dir_);
+  const fs::path ancient = insert_aged(cache, 51, 48);
+  const fs::path old = insert_aged(cache, 52, 40);
+  const fs::path fresh = insert_aged(cache, 53, 1);
+
+  // Unlimited byte cap: only the TTL decides.
+  const solve::DiskGcReport report =
+      cache.gc(std::numeric_limits<std::uint64_t>::max(), std::chrono::hours(36));
+
+  EXPECT_EQ(report.entries_before, 3u);
+  EXPECT_EQ(report.entries_expired, 2u);
+  EXPECT_EQ(report.entries_removed, 2u);
+  EXPECT_EQ(report.entries_kept, 1u);
+  EXPECT_FALSE(fs::exists(ancient));
+  EXPECT_FALSE(fs::exists(old));
+  EXPECT_TRUE(fs::exists(fresh));
+  EXPECT_TRUE(cache.lookup(key_for(53)).has_value());
+  EXPECT_FALSE(cache.lookup(key_for(51)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST_F(DiskGcTest, TtlZeroDisablesExpiry) {
+  solve::DiskCache cache(dir_);
+  insert_aged(cache, 61, 1000);  // ancient, but no TTL asked for
+  const solve::DiskGcReport report =
+      cache.gc(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(report.entries_expired, 0u);
+  EXPECT_EQ(report.entries_removed, 0u);
+  EXPECT_EQ(report.entries_kept, 1u);
+}
+
+TEST_F(DiskGcTest, TtlComposesWithTheByteCap) {
+  // TTL removes by age first; the cap then trims the freshest survivors by
+  // LRU. Expired entries count in entries_expired, cap evictions do not.
+  solve::DiskCache cache(dir_);
+  insert_aged(cache, 71, 48);   // expired by TTL
+  const fs::path mid = insert_aged(cache, 72, 3);
+  const fs::path fresh = insert_aged(cache, 73, 1);
+
+  const std::uint64_t one_entry = static_cast<std::uint64_t>(fs::file_size(fresh));
+  const solve::DiskGcReport report = cache.gc(one_entry, std::chrono::hours(36));
+
+  EXPECT_EQ(report.entries_expired, 1u);
+  EXPECT_EQ(report.entries_removed, 2u);  // one by TTL, one by the cap
+  EXPECT_EQ(report.entries_kept, 1u);
+  EXPECT_FALSE(fs::exists(mid));
+  EXPECT_TRUE(fs::exists(fresh));
+}
+
+TEST_F(DiskGcTest, TtlNeverTouchesAFreshTempFile) {
+  solve::DiskCache cache(dir_);
+  insert_aged(cache, 81, 48);
+  // Even a TTL shorter than the temp file's age must not delete a temp
+  // file younger than the stale-writer threshold: entries being written
+  // are exempt from every policy.
+  const fs::path fresh_temp = dir_ / "00112233445566770011223344556677.mfc.tmp-7-0";
+  std::ofstream(fresh_temp) << "half-written entry";
+  fs::last_write_time(fresh_temp,
+                      fs::file_time_type::clock::now() - std::chrono::minutes(30));
+
+  const solve::DiskGcReport report =
+      cache.gc(std::numeric_limits<std::uint64_t>::max(), std::chrono::minutes(5));
+
+  EXPECT_EQ(report.entries_expired, 1u);
+  EXPECT_TRUE(fs::exists(fresh_temp));
+  EXPECT_EQ(report.stale_temps_removed, 0u);
 }
 
 TEST_F(DiskGcTest, GenerousCapRemovesNothingAndSurvivorsStayBitExact) {

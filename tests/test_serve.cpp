@@ -1,0 +1,669 @@
+// Tests for the scheduler daemon and its wire protocol: bit-exact
+// round-trips of requests, results, and stats over the canonical hexfloat
+// text forms; strict rejection of malformed, truncated, and oversized
+// frames (the daemon answers with an error and survives); admission
+// control (queue-full, rate-limited) as explicit protocol outcomes; and
+// the serving contract itself — concurrent clients asking for the same
+// work cost one solve (single-flight across TCP connections), and a warm
+// daemon re-solves nothing.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/digest.hpp"
+#include "core/io.hpp"
+#include "exp/scenario.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/latency.hpp"
+#include "serve/protocol.hpp"
+#include "serve/rate_limiter.hpp"
+#include "solve/cache.hpp"
+#include "solve/disk_cache.hpp"
+#include "solve/registry.hpp"
+#include "solve/service.hpp"
+
+namespace mf::serve {
+namespace {
+
+core::Problem small_problem(std::uint64_t seed = 7) {
+  exp::Scenario scenario;
+  scenario.tasks = 8;
+  scenario.machines = 4;
+  scenario.types = 2;
+  return exp::generate(scenario, seed);
+}
+
+WireRequest sample_request() {
+  WireRequest wire;
+  wire.client_id = "test-client";
+  wire.request.problem = std::make_shared<const core::Problem>(small_problem());
+  wire.request.solver_id = "H1";
+  wire.request.params.seed = 42;
+  wire.request.params.max_nodes = 123456789;
+  wire.request.params.time_limit_ms = 0x1.5555555555555p+7;  // full mantissa
+  wire.request.params.local_search = true;
+  wire.request.params.refinement.max_passes = 17;
+  wire.request.params.refinement.first_improvement = true;
+  wire.request.params.refinement.min_relative_gain = 0x1.0000000000001p-30;
+  wire.request.params.cache = solve::CachePolicy::kReadWrite;
+  wire.request.params.scenario = "weibull-2x";
+  return wire;
+}
+
+/// Pushes `bytes` through a pipe and reads one frame back — the
+/// fd-level reader exercised without a socket.
+ReadResult frame_through_pipe(const std::string& bytes,
+                              std::size_t max_body = kDefaultMaxFrameBytes) {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::pipe(fds), 0);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t wrote = ::write(fds[1], bytes.data() + written, bytes.size() - written);
+    if (wrote <= 0) {
+      ADD_FAILURE() << "pipe write failed";
+      break;
+    }
+    written += static_cast<std::size_t>(wrote);
+  }
+  ::close(fds[1]);
+  const ReadResult result = read_frame(fds[0], max_body);
+  ::close(fds[0]);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Wire serialization round-trips
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, FrameRoundTripsThroughAnFd) {
+  const Frame frame{FrameType::kSolve, "hello body\nwith newlines\n"};
+  const ReadResult result = frame_through_pipe(frame_to_bytes(frame));
+  ASSERT_EQ(result.status, ReadStatus::kOk);
+  EXPECT_EQ(result.frame.type, FrameType::kSolve);
+  EXPECT_EQ(result.frame.body, frame.body);
+}
+
+TEST(ServeProtocol, EmptyBodyFrameRoundTrips) {
+  const ReadResult result = frame_through_pipe(frame_to_bytes({FrameType::kPing, ""}));
+  ASSERT_EQ(result.status, ReadStatus::kOk);
+  EXPECT_EQ(result.frame.type, FrameType::kPing);
+  EXPECT_TRUE(result.frame.body.empty());
+}
+
+TEST(ServeProtocol, RequestRoundTripsBitExact) {
+  const WireRequest original = sample_request();
+  const std::optional<WireRequest> parsed = request_from_text(request_to_text(original));
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->client_id, original.client_id);
+  EXPECT_EQ(parsed->request.solver_id, original.request.solver_id);
+  EXPECT_FALSE(parsed->request.derive_stream_seed);  // wire requests are final
+
+  const solve::SolveParams& a = original.request.params;
+  const solve::SolveParams& b = parsed->request.params;
+  EXPECT_EQ(b.seed, a.seed);
+  EXPECT_EQ(b.max_nodes, a.max_nodes);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(b.time_limit_ms),
+            std::bit_cast<std::uint64_t>(a.time_limit_ms));
+  EXPECT_EQ(b.local_search, a.local_search);
+  EXPECT_EQ(b.refinement.max_passes, a.refinement.max_passes);
+  EXPECT_EQ(b.refinement.allow_swaps, a.refinement.allow_swaps);
+  EXPECT_EQ(b.refinement.first_improvement, a.refinement.first_improvement);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(b.refinement.min_relative_gain),
+            std::bit_cast<std::uint64_t>(a.refinement.min_relative_gain));
+  EXPECT_EQ(b.cache, a.cache);
+  EXPECT_EQ(b.scenario, a.scenario);
+
+  // The round-trip preserves the problem's digest — the daemon computes
+  // the same cache key the client would have in-process.
+  EXPECT_EQ(core::digest(*parsed->request.problem), core::digest(*original.request.problem));
+}
+
+TEST(ServeProtocol, RequestRoundTripsExtremeDoubles) {
+  WireRequest wire = sample_request();
+  wire.request.params.time_limit_ms = std::numeric_limits<double>::infinity();
+  wire.request.params.refinement.min_relative_gain =
+      -std::numeric_limits<double>::infinity();
+  std::optional<WireRequest> parsed = request_from_text(request_to_text(wire));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(std::isinf(parsed->request.params.time_limit_ms));
+  EXPECT_TRUE(std::isinf(parsed->request.params.refinement.min_relative_gain));
+  EXPECT_LT(parsed->request.params.refinement.min_relative_gain, 0.0);
+
+  wire.request.params.time_limit_ms = std::numeric_limits<double>::quiet_NaN();
+  parsed = request_from_text(request_to_text(wire));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(std::isnan(parsed->request.params.time_limit_ms));
+
+  // Unset node budget is distinguished from budget 0.
+  wire = sample_request();
+  wire.request.params.max_nodes.reset();
+  parsed = request_from_text(request_to_text(wire));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->request.params.max_nodes.has_value());
+  wire.request.params.max_nodes = 0;
+  parsed = request_from_text(request_to_text(wire));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->request.params.max_nodes.has_value());
+  EXPECT_EQ(*parsed->request.params.max_nodes, 0u);
+}
+
+TEST(ServeProtocol, ResultEntryRoundTripsExtremeValuesAndEmptyDiagnostics) {
+  // The solve response body IS a disk-cache entry; the wire inherits its
+  // bit-exactness, including non-finite values and all-default
+  // diagnostics.
+  solve::SolveParams params;
+  const solve::CacheKey key =
+      solve::make_cache_key(core::digest(small_problem()), "H1", params);
+
+  solve::SolveResult result;  // empty diagnostics, no mapping
+  result.status = solve::Status::kInfeasible;
+  result.period = std::numeric_limits<double>::quiet_NaN();
+  result.diagnostics.wall_time_ms = -std::numeric_limits<double>::infinity();
+
+  const auto restored = solve::entry_from_text(solve::entry_to_text(key, result));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->first == key);
+  EXPECT_EQ(restored->second.status, result.status);
+  EXPECT_TRUE(std::isnan(restored->second.period));
+  EXPECT_TRUE(std::isinf(restored->second.diagnostics.wall_time_ms));
+  EXPECT_EQ(restored->second.diagnostics.solver_id, "");
+  EXPECT_FALSE(restored->second.mapping.has_value());
+}
+
+TEST(ServeProtocol, MalformedRequestBodiesAreRejected) {
+  const std::string good = request_to_text(sample_request());
+  ASSERT_TRUE(request_from_text(good).has_value());
+
+  // Truncation at any line boundary (and mid-blob) must fail, never guess.
+  for (std::size_t cut = 0; cut < good.size(); cut += 97) {
+    EXPECT_FALSE(request_from_text(good.substr(0, cut)).has_value())
+        << "accepted a prefix of " << cut << " bytes";
+  }
+  // Trailing garbage after the end sentinel is a lie about the length.
+  EXPECT_FALSE(request_from_text(good + "extra\n").has_value());
+  // A corrupt problem blob (byte count intact) fails the problem parser.
+  std::string corrupt = good;
+  const std::size_t blob = corrupt.find("problem ");
+  ASSERT_NE(blob, std::string::npos);
+  corrupt[blob + 40] = '?';
+  EXPECT_FALSE(request_from_text(corrupt).has_value());
+  // Unknown cache policy token.
+  std::string bad_cache = good;
+  const std::size_t cache_at = bad_cache.find("cache read-write");
+  ASSERT_NE(cache_at, std::string::npos);
+  bad_cache.replace(cache_at, 16, "cache sometimes!");
+  EXPECT_FALSE(request_from_text(bad_cache).has_value());
+}
+
+TEST(ServeProtocol, MalformedFramesAreRejectedAtTheReader) {
+  // Wrong magic.
+  EXPECT_EQ(frame_through_pipe("mf-serve/9 solve 0\n").status, ReadStatus::kMalformed);
+  // Unknown type.
+  EXPECT_EQ(frame_through_pipe("mf-serve/1 shout 0\n").status, ReadStatus::kMalformed);
+  // Unparsable and negative lengths.
+  EXPECT_EQ(frame_through_pipe("mf-serve/1 solve many\n").status, ReadStatus::kMalformed);
+  EXPECT_EQ(frame_through_pipe("mf-serve/1 solve -1\n").status, ReadStatus::kMalformed);
+  // Trailing token in the header.
+  EXPECT_EQ(frame_through_pipe("mf-serve/1 solve 0 extra\n").status,
+            ReadStatus::kMalformed);
+  // Unterminated, oversized header.
+  EXPECT_EQ(frame_through_pipe(std::string(300, 'x')).status, ReadStatus::kMalformed);
+  // Declared length beyond the cap is kTooLarge before any body is read.
+  EXPECT_EQ(frame_through_pipe("mf-serve/1 solve 999999999\n", 1024).status,
+            ReadStatus::kTooLarge);
+  // Body shorter than declared: truncated.
+  EXPECT_EQ(frame_through_pipe("mf-serve/1 solve 10\nabc").status, ReadStatus::kMalformed);
+  // Clean EOF before any byte is kClosed, not an error.
+  EXPECT_EQ(frame_through_pipe("").status, ReadStatus::kClosed);
+}
+
+TEST(ServeProtocol, ErrorBodyRoundTrips) {
+  const std::string body = error_body(kErrQueueFull, "pending queue at capacity (64)");
+  const auto parsed = parse_error_body(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first, kErrQueueFull);
+  EXPECT_EQ(parsed->second, "pending queue at capacity (64)");
+  EXPECT_FALSE(parse_error_body("").has_value());
+}
+
+TEST(ServeProtocol, StatsRoundTripHexfloatLatencies) {
+  DaemonStatsSnapshot stats;
+  stats.service.submitted = 100;
+  stats.service.solved = 7;
+  stats.service.rejected_queue_full = 3;
+  stats.service.rejected_rate_limited = 5;
+  stats.cache.hits = 93;
+  stats.cache.bytes = 1u << 20;
+  stats.connections_active = 4;
+  stats.connections_total = 12;
+  stats.pending = 2;
+  stats.pool_queue_depth = 1;
+  stats.pool_in_flight = 3;
+  stats.latency_count = 100;
+  stats.latency_p50_ms = 0x1.8p1;
+  stats.latency_p90_ms = 0x1.9p3;
+  stats.latency_p99_ms = 0x1.ap5;
+
+  const std::optional<DaemonStatsSnapshot> parsed = stats_from_text(stats_to_text(stats));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->service.submitted, 100u);
+  EXPECT_EQ(parsed->service.rejected_queue_full, 3u);
+  EXPECT_EQ(parsed->service.rejected_rate_limited, 5u);
+  EXPECT_EQ(parsed->cache.hits, 93u);
+  EXPECT_EQ(parsed->cache.bytes, 1u << 20);
+  EXPECT_EQ(parsed->connections_total, 12u);
+  EXPECT_EQ(parsed->pending, 2u);
+  EXPECT_EQ(parsed->pool_in_flight, 3u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed->latency_p99_ms),
+            std::bit_cast<std::uint64_t>(stats.latency_p99_ms));
+  EXPECT_FALSE(stats_from_text("mf-serve-stats v1\nsubmitted ten\n").has_value());
+}
+
+TEST(ServeProtocol, ParseHostPort) {
+  auto parsed = parse_host_port("127.0.0.1:8080");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first, "127.0.0.1");
+  EXPECT_EQ(parsed->second, 8080);
+  EXPECT_FALSE(parse_host_port("no-port").has_value());
+  EXPECT_FALSE(parse_host_port(":8080").has_value());
+  EXPECT_FALSE(parse_host_port("host:").has_value());
+  EXPECT_FALSE(parse_host_port("host:0").has_value());
+  EXPECT_FALSE(parse_host_port("host:99999").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Rate limiter and latency histogram
+// ---------------------------------------------------------------------------
+
+TEST(RateLimiter, BurstThenRefill) {
+  RateLimiter limiter(2.0, 1.0);  // burst 2, one token/second
+  EXPECT_TRUE(limiter.try_acquire("a", 0.0));
+  EXPECT_TRUE(limiter.try_acquire("a", 0.0));
+  EXPECT_FALSE(limiter.try_acquire("a", 0.0));  // burst spent
+  EXPECT_FALSE(limiter.try_acquire("a", 0.5));  // half a token is not one
+  EXPECT_TRUE(limiter.try_acquire("a", 1.5));   // refilled
+  // Distinct clients have independent buckets.
+  EXPECT_TRUE(limiter.try_acquire("b", 0.0));
+  EXPECT_EQ(limiter.clients(), 2u);
+}
+
+TEST(RateLimiter, CapacityZeroDisablesLimiting) {
+  RateLimiter limiter(0.0, 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(limiter.try_acquire("a", 0.0));
+}
+
+TEST(RateLimiter, RefillNeverOverfillsPastCapacity) {
+  RateLimiter limiter(1.0, 1000.0);
+  EXPECT_TRUE(limiter.try_acquire("a", 0.0));
+  // A long idle period refills to capacity 1, not 1000.
+  EXPECT_TRUE(limiter.try_acquire("a", 100.0));
+  EXPECT_FALSE(limiter.try_acquire("a", 100.0));
+}
+
+TEST(LatencyHistogram, QuantilesBoundSamplesWithinABucket) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 90; ++i) histogram.record_us(1000);    // ~1 ms
+  for (int i = 0; i < 10; ++i) histogram.record_us(100000);  // ~100 ms
+  EXPECT_EQ(histogram.count(), 100u);
+  // Log buckets answer with the bucket's upper edge: within 2x above.
+  EXPECT_GE(histogram.quantile_ms(0.5), 1.0);
+  EXPECT_LE(histogram.quantile_ms(0.5), 2.048);
+  EXPECT_GE(histogram.quantile_ms(0.99), 100.0);
+  EXPECT_LE(histogram.quantile_ms(0.99), 262.144);
+  EXPECT_EQ(LatencyHistogram{}.quantile_ms(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Live daemon over TCP
+// ---------------------------------------------------------------------------
+
+/// A deterministic solver whose solve() blocks on a gate until released —
+/// proves "twins over separate TCP connections share one flight" without
+/// races — registered once per process under "serve-gated".
+class ServeGatedSolver final : public solve::Solver {
+ public:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool released = false;
+    std::atomic<int> invocations{0};
+
+    void release() {
+      {
+        std::lock_guard lock(mutex);
+        released = true;
+      }
+      cv.notify_all();
+    }
+    void reset() {
+      std::lock_guard lock(mutex);
+      released = false;
+      invocations.store(0);
+    }
+  };
+
+  static State& state() {
+    static State instance;
+    return instance;
+  }
+
+  [[nodiscard]] std::string id() const override { return "serve-gated"; }
+  [[nodiscard]] std::string description() const override {
+    return "test double: blocks until released, counts invocations";
+  }
+  [[nodiscard]] solve::SolveResult solve(const core::Problem& problem,
+                                         const solve::SolveParams& params) const override {
+    state().invocations.fetch_add(1);
+    std::unique_lock lock(state().mutex);
+    state().cv.wait(lock, [] { return state().released; });
+    solve::SolveResult result;
+    result.status = solve::Status::kFeasible;
+    result.mapping = core::Mapping(
+        std::vector<core::MachineIndex>(problem.task_count(), params.seed % 2));
+    result.period = static_cast<double>(params.seed) + 0.25;
+    return result;
+  }
+};
+
+void ensure_gated_solver() {
+  static const bool registered = [] {
+    solve::SolverRegistry::instance().register_solver(std::make_shared<ServeGatedSolver>());
+    return true;
+  }();
+  (void)registered;
+}
+
+struct GateGuard {
+  GateGuard() { ServeGatedSolver::state().reset(); }
+  ~GateGuard() { ServeGatedSolver::state().release(); }
+};
+
+/// An ephemeral-port daemon wired to its own cache, torn down per test.
+struct TestDaemon {
+  explicit TestDaemon(DaemonOptions options = {}) : cache(64) {
+    if (options.cache == nullptr) options.cache = &cache;
+    if (options.threads == 0) options.threads = 4;
+    daemon = std::make_unique<Daemon>(options);
+    daemon->start();
+  }
+  solve::ResultCache cache;
+  std::unique_ptr<Daemon> daemon;
+};
+
+TEST(ServeDaemon, PingStatsAndSolveRoundTrip) {
+  TestDaemon server;
+  Client client("127.0.0.1", server.daemon->port());
+  EXPECT_TRUE(client.ping());
+
+  WireRequest wire = sample_request();
+  wire.request.params.local_search = false;
+  wire.request.params.cache = solve::CachePolicy::kReadWrite;
+  const Client::Outcome outcome = client.solve(wire);
+  ASSERT_TRUE(outcome.ok) << outcome.error_code << ": " << outcome.detail;
+  EXPECT_TRUE(outcome.result.ok());
+
+  // The remote result is bit-identical to solving the same final request
+  // in-process: one canonical serialization, one solve identity.
+  solve::SolveService local(nullptr, nullptr);
+  solve::SolveRequest twin = wire.request;
+  twin.params.cache = solve::CachePolicy::kOff;  // don't touch the global cache
+  const solve::SolveResult expected = local.submit(std::move(twin)).get();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(outcome.result.period),
+            std::bit_cast<std::uint64_t>(expected.period));
+  ASSERT_TRUE(outcome.result.mapping.has_value());
+  EXPECT_EQ(outcome.result.mapping->assignment(), expected.mapping->assignment());
+
+  const std::optional<DaemonStatsSnapshot> stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->service.submitted, 1u);
+  EXPECT_EQ(stats->service.solved, 1u);
+  EXPECT_EQ(stats->latency_count, 1u);
+  EXPECT_GE(stats->connections_total, 1u);
+}
+
+TEST(ServeDaemon, ConcurrentTwinsAcrossConnectionsShareOneFlight) {
+  ensure_gated_solver();
+  GateGuard gate;
+  TestDaemon server;
+
+  WireRequest wire = sample_request();
+  wire.request.solver_id = "serve-gated";
+  wire.request.params.local_search = false;
+  wire.request.params.cache = solve::CachePolicy::kRead;
+  wire.request.params.time_limit_ms = 0.0;
+
+  constexpr int kClients = 4;
+  std::vector<Client::Outcome> outcomes(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client("127.0.0.1", server.daemon->port());
+      outcomes[i] = client.solve(wire);
+    });
+  }
+
+  // Wait (via a separate stats connection — never blocked by solves) until
+  // every request has been admitted, THEN open the gate: all twins
+  // demonstrably arrived while the leader was still in flight.
+  Client stats_client("127.0.0.1", server.daemon->port());
+  for (;;) {
+    const std::optional<DaemonStatsSnapshot> stats = stats_client.stats();
+    ASSERT_TRUE(stats.has_value());
+    if (stats->service.submitted >= kClients) break;
+    std::this_thread::yield();
+  }
+  ServeGatedSolver::state().release();
+  for (std::thread& thread : threads) thread.join();
+
+  for (const Client::Outcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok) << outcome.error_code << ": " << outcome.detail;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(outcome.result.period),
+              std::bit_cast<std::uint64_t>(outcomes[0].result.period));
+  }
+  EXPECT_EQ(ServeGatedSolver::state().invocations.load(), 1);
+  const std::optional<DaemonStatsSnapshot> stats = stats_client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->service.solved, 1u);
+  EXPECT_EQ(stats->service.dedup_joined, kClients - 1u);
+}
+
+TEST(ServeDaemon, WarmDaemonRepeatedClientsCostZeroNewSolves) {
+  TestDaemon server;
+  WireRequest wire = sample_request();
+  wire.request.params.local_search = false;
+  wire.request.params.cache = solve::CachePolicy::kReadWrite;
+
+  {
+    Client first("127.0.0.1", server.daemon->port());
+    ASSERT_TRUE(first.solve(wire).ok);
+  }
+  std::optional<DaemonStatsSnapshot> stats;
+  {
+    Client probe("127.0.0.1", server.daemon->port());
+    stats = probe.stats();
+  }
+  ASSERT_TRUE(stats.has_value());
+  const std::uint64_t solved_after_warmup = stats->service.solved;
+  EXPECT_EQ(solved_after_warmup, 1u);
+
+  // Five fresh connections re-request the identical sweep point: all are
+  // answered from the shared cache; Solver::solve runs zero more times.
+  // (The response body is a cache entry, which carries result content only
+  // — delivery metadata like diagnostics.cache_hit intentionally does not
+  // travel; the daemon's counters are the observable.)
+  for (int i = 0; i < 5; ++i) {
+    Client repeat("127.0.0.1", server.daemon->port());
+    const Client::Outcome outcome = repeat.solve(wire);
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_TRUE(outcome.result.ok());
+  }
+  Client probe("127.0.0.1", server.daemon->port());
+  stats = probe.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->service.solved, solved_after_warmup);  // zero new solves
+  EXPECT_GE(stats->service.cache_hits, 5u);
+}
+
+TEST(ServeDaemon, MalformedBytesGetErrorResponsesAndTheDaemonSurvives) {
+  TestDaemon server;
+  {
+    // Garbage magic: error response, then the daemon hangs up.
+    Client client("127.0.0.1", server.daemon->port());
+    const ReadResult response = client.roundtrip_raw("GET / HTTP/1.1\r\n");
+    ASSERT_EQ(response.status, ReadStatus::kOk);
+    EXPECT_EQ(response.frame.type, FrameType::kError);
+    const auto parsed = parse_error_body(response.frame.body);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->first, kErrBadRequest);
+  }
+  {
+    // Oversized declared body: rejected before it is read.
+    Client client("127.0.0.1", server.daemon->port());
+    DaemonOptions options;
+    const ReadResult response = client.roundtrip_raw(
+        "mf-serve/1 solve " + std::to_string(options.max_frame_bytes + 1) + "\n");
+    ASSERT_EQ(response.status, ReadStatus::kOk);
+    EXPECT_EQ(response.frame.type, FrameType::kError);
+    EXPECT_EQ(parse_error_body(response.frame.body)->first, kErrTooLarge);
+  }
+  {
+    // A well-framed but unparsable solve body: bad-request, and the
+    // connection stays usable (frame boundaries were never lost).
+    Client client("127.0.0.1", server.daemon->port());
+    const ReadResult response =
+        client.roundtrip({FrameType::kSolve, "mf-serve-request v1\ngarbage\n"});
+    ASSERT_EQ(response.status, ReadStatus::kOk);
+    EXPECT_EQ(response.frame.type, FrameType::kError);
+    EXPECT_EQ(parse_error_body(response.frame.body)->first, kErrBadRequest);
+    EXPECT_TRUE(client.ping());  // same connection still serves
+  }
+  // And the daemon as a whole still serves real work.
+  Client client("127.0.0.1", server.daemon->port());
+  WireRequest wire = sample_request();
+  wire.request.params.local_search = false;
+  EXPECT_TRUE(client.solve(wire).ok);
+}
+
+TEST(ServeDaemon, QueueFullRejectionIsExplicit) {
+  DaemonOptions options;
+  options.max_pending = 0;  // reject every solve
+  TestDaemon server(options);
+  Client client("127.0.0.1", server.daemon->port());
+  const Client::Outcome outcome = client.solve(sample_request());
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error_code, kErrQueueFull);
+  const std::optional<DaemonStatsSnapshot> stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->service.rejected_queue_full, 1u);
+  EXPECT_EQ(stats->service.submitted, 0u);  // refused before submit()
+}
+
+TEST(ServeDaemon, RateLimitRejectionIsPerClient) {
+  DaemonOptions options;
+  options.rate_capacity = 1.0;  // one request, then dry
+  options.rate_refill_per_sec = 0.0;
+  TestDaemon server(options);
+
+  WireRequest wire = sample_request();
+  wire.request.params.local_search = false;
+  wire.client_id = "greedy";
+  Client client("127.0.0.1", server.daemon->port());
+  ASSERT_TRUE(client.solve(wire).ok);
+  const Client::Outcome second = client.solve(wire);
+  ASSERT_FALSE(second.ok);
+  EXPECT_EQ(second.error_code, kErrRateLimited);
+
+  // The bucket is keyed on client id, not connection: another identity on
+  // a fresh connection is admitted.
+  wire.client_id = "patient";
+  Client other("127.0.0.1", server.daemon->port());
+  EXPECT_TRUE(other.solve(wire).ok);
+
+  const std::optional<DaemonStatsSnapshot> stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->service.rejected_rate_limited, 1u);
+}
+
+TEST(ServeDaemon, DrainRefusesNewWorkAndStopsAccepting) {
+  TestDaemon server;
+  const std::uint16_t port = server.daemon->port();
+  {
+    Client client("127.0.0.1", port);
+    ASSERT_TRUE(client.ping());
+  }
+  server.daemon->drain();
+  server.daemon->wait();
+  // The listen socket is down: new connections fail outright.
+  EXPECT_THROW(Client("127.0.0.1", port), std::runtime_error);
+  // Stats remain readable in-process after the drain.
+  const DaemonStatsSnapshot stats = server.daemon->stats_snapshot();
+  EXPECT_EQ(stats.connections_active, 0u);
+}
+
+TEST(ServeDaemon, RemoteExecutorMatchesLocalBatchBitForBit) {
+  TestDaemon server;
+  RemoteExecutorOptions remote_options;
+  remote_options.port = server.daemon->port();
+  remote_options.connections = 3;
+  RemoteExecutor remote(remote_options);
+
+  // A batch with derive_stream_seed on: the executor must apply the same
+  // (seed, index) stream derivation solve_all does locally.
+  const auto problem = std::make_shared<const core::Problem>(small_problem());
+  std::vector<solve::SolveRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    solve::SolveRequest request;
+    request.problem = problem;
+    request.solver_id = "H1";
+    request.params.seed = 99;
+    request.params.cache = solve::CachePolicy::kOff;
+    requests.push_back(std::move(request));
+  }
+
+  const std::vector<solve::SolveResult> remote_results = remote.solve_all(requests);
+  solve::SolveService local(nullptr, nullptr);
+  const std::vector<solve::SolveResult> local_results = local.solve_all(requests);
+
+  ASSERT_EQ(remote_results.size(), local_results.size());
+  for (std::size_t i = 0; i < remote_results.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(remote_results[i].period),
+              std::bit_cast<std::uint64_t>(local_results[i].period))
+        << "request " << i;
+    ASSERT_TRUE(remote_results[i].mapping.has_value());
+    EXPECT_EQ(remote_results[i].mapping->assignment(),
+              local_results[i].mapping->assignment());
+  }
+}
+
+TEST(ServeDaemon, RemoteExecutorSurfacesUnknownSolverAsErrorResult) {
+  TestDaemon server;
+  RemoteExecutorOptions remote_options;
+  remote_options.port = server.daemon->port();
+  RemoteExecutor remote(remote_options);
+
+  solve::SolveRequest request;
+  request.problem = std::make_shared<const core::Problem>(small_problem());
+  request.solver_id = "no-such-solver";
+  const std::vector<solve::SolveResult> results = remote.solve_all({request});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, solve::Status::kError);
+  EXPECT_NE(results[0].diagnostics.note.find("bad-request"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mf::serve

@@ -4,12 +4,15 @@
 
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "support/check.hpp"
@@ -254,6 +257,43 @@ TEST(ThreadPool, WaitIdleDrainsQueue) {
   }
   pool.wait_idle();
   EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, GaugesIdlePoolReadsZero) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+  pool.wait_idle();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+TEST(ThreadPool, GaugesSeeBlockedWorkAndQueuedBacklog) {
+  // One worker, gated: the first task occupies the worker (in_flight), the
+  // rest can only wait in the queue (queue_depth) — deterministic, no
+  // sleeps.
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  pool.post([&] {
+    started.store(true);
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (!started.load()) std::this_thread::yield();
+  for (int i = 0; i < 3; ++i) pool.post([] {});
+  EXPECT_EQ(pool.in_flight(), 1u);
+  EXPECT_EQ(pool.queue_depth(), 3u);
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_idle();
+  EXPECT_EQ(pool.in_flight(), 0u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
 }
 
 TEST(ThreadPool, SubmitAcceptsMoveOnlyCallables) {
