@@ -1,0 +1,359 @@
+#include "core/eval_kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace mf::core {
+
+EvalWorkspace::EvalWorkspace(const Problem& problem)
+    : problem_(&problem),
+      n_(problem.task_count()),
+      m_(problem.machine_count()),
+      times_(problem.platform.time_row(0).data()),
+      attempts_(problem.platform.attempts_row(0).data()),
+      chain_(problem.app.is_linear_chain()),
+      dfs_pos_(n_, 0),
+      subtree_size_(n_, 0),
+      succ_(n_, kNoTask),
+      x_(n_, 0.0),
+      loads_(m_, 0.0) {
+  for (TaskIndex t = 0; t < n_; ++t) succ_[t] = problem.app.successor(t);
+  // Predecessor-forest DFS from the sinks: every task's subtree (itself
+  // plus its transitive predecessors) occupies a contiguous slice of
+  // dfs_order_, and within a slice every task appears after its successor.
+  dfs_order_.reserve(n_);
+  std::vector<TaskIndex> stack;
+  for (TaskIndex sink : problem.app.sinks()) {
+    stack.push_back(sink);
+    while (!stack.empty()) {
+      const TaskIndex t = stack.back();
+      stack.pop_back();
+      dfs_pos_[t] = dfs_order_.size();
+      dfs_order_.push_back(t);
+      const auto& preds = problem.app.predecessors(t);
+      // Reverse push so predecessors are visited in their natural order.
+      for (auto it = preds.rbegin(); it != preds.rend(); ++it) stack.push_back(*it);
+    }
+  }
+  MF_CHECK(dfs_order_.size() == n_, "predecessor forest must cover every task");
+  // Children appear after their parent in entry order, so one reverse pass
+  // accumulates subtree sizes bottom-up.
+  for (std::size_t k = n_; k-- > 0;) {
+    const TaskIndex t = dfs_order_[k];
+    subtree_size_[t] += 1;
+    if (succ_[t] != kNoTask) subtree_size_[succ_[t]] += subtree_size_[t];
+  }
+}
+
+std::span<const double> EvalWorkspace::expected_products(
+    std::span<const MachineIndex> assignment) {
+  MF_REQUIRE(assignment.size() == n_, "assignment size mismatch");
+  for (TaskIndex i : problem_->app.backward_order()) {
+    const TaskIndex succ = succ_[i];
+    const double downstream = succ == kNoTask ? 1.0 : x_[succ];
+    x_[i] = downstream * attempts_[i * m_ + assignment[i]];
+  }
+  return x_;
+}
+
+std::span<const double> EvalWorkspace::machine_periods(
+    std::span<const MachineIndex> assignment) {
+  expected_products(assignment);
+  std::fill(loads_.begin(), loads_.end(), 0.0);
+  for (TaskIndex i = 0; i < n_; ++i) {
+    loads_[assignment[i]] += x_[i] * times_[i * m_ + assignment[i]];
+  }
+  return loads_;
+}
+
+double EvalWorkspace::period(std::span<const MachineIndex> assignment) {
+  machine_periods(assignment);
+  return *std::max_element(loads_.begin(), loads_.end());
+}
+
+IncrementalEvaluator::IncrementalEvaluator(EvalWorkspace& workspace,
+                                           std::span<const MachineIndex> assignment)
+    : ws_(&workspace),
+      x_(workspace.task_count(), 0.0),
+      loads_(workspace.machine_count(), 0.0),
+      w_cur_(workspace.task_count(), 0.0),
+      F_cur_(workspace.task_count(), 0.0),
+      xw_(workspace.task_count(), 0.0),
+      member_begin_(workspace.machine_count() + 1, 0),
+      x_probe_(workspace.task_count(), 0.0),
+      xw_probe_(workspace.task_count(), 0.0) {
+  members_.resize(workspace.task_count());
+  reset(assignment);
+}
+
+IncrementalEvaluator::IncrementalEvaluator(EvalWorkspace& workspace, const Mapping& mapping)
+    : IncrementalEvaluator(workspace, std::span<const MachineIndex>(mapping.assignment())) {}
+
+void IncrementalEvaluator::reset(std::span<const MachineIndex> assignment) {
+  MF_REQUIRE(assignment.size() == ws_->task_count(), "assignment size mismatch");
+  const std::size_t m = ws_->machine_count();
+  for (const MachineIndex u : assignment) {
+    MF_REQUIRE(u < m, "assignment must be complete");
+  }
+  assignment_.assign(assignment.begin(), assignment.end());
+  rebuild();
+}
+
+void IncrementalEvaluator::rebuild() {
+  const Problem& problem = ws_->problem();
+  const std::size_t n = ws_->task_count();
+
+  // Gather the assigned column of each table row once; every probe then
+  // reads these sequentially instead of striding through the matrices.
+  for (TaskIndex i = 0; i < n; ++i) {
+    w_cur_[i] = ws_->time_row(i)[assignment_[i]];
+    F_cur_[i] = ws_->attempts_row(i)[assignment_[i]];
+  }
+
+  // Exact reference recompute: same operand sequence as core::period.
+  const std::span<const TaskIndex> succ = ws_->successors();
+  for (TaskIndex i : problem.app.backward_order()) {
+    const double downstream = succ[i] == kNoTask ? 1.0 : x_[succ[i]];
+    x_[i] = downstream * F_cur_[i];
+  }
+  std::fill(loads_.begin(), loads_.end(), 0.0);
+  for (TaskIndex i = 0; i < n; ++i) {
+    loads_[assignment_[i]] += x_[i] * w_cur_[i];
+  }
+  for (TaskIndex i = 0; i < n; ++i) xw_[i] = x_[i] * w_cur_[i];
+  period_ = *std::max_element(loads_.begin(), loads_.end());
+
+  // CSR member lists, tasks ascending within each machine (the order the
+  // reference accumulation visits them).
+  const std::size_t m = ws_->machine_count();
+  std::fill(member_begin_.begin(), member_begin_.end(), 0);
+  for (TaskIndex i = 0; i < n; ++i) ++member_begin_[assignment_[i] + 1];
+  for (MachineIndex u = 0; u < m; ++u) member_begin_[u + 1] += member_begin_[u];
+  csr_cursor_.assign(member_begin_.begin(), member_begin_.end() - 1);
+  for (TaskIndex i = 0; i < n; ++i) members_[csr_cursor_[assignment_[i]]++] = i;
+}
+
+void IncrementalEvaluator::probe_subtree_x(TaskIndex root) {
+  // Walk the DFS-contiguous slice: every task's successor is either
+  // earlier in the slice (already recomputed into x_probe_) or outside
+  // the subtree entirely, where the memcpy mirror still equals x_.
+  //
+  // The slice is succ-linked almost everywhere (in a pure chain, each
+  // task's successor is the previous slice element; in a tree, only the
+  // first task after a completed sibling subtree breaks the run), so the
+  // running x stays in a register across iterations and the serial
+  // multiply chain is the only latency — no store-to-load round trip
+  // through x_probe_ per element.
+  // F_cur_ already holds the candidate values for the moved tasks (probe()
+  // stashes overrides around the walks), so the body is compare-free.
+  // Alongside x, the walk fuses the x*w product the resum will consume and
+  // records which machines own a recomputed task in touched_machines_
+  // (bit q & 63; aliasing for m > 64 only ever marks extra machines,
+  // never misses one) so the resum can skip the rest.
+  const std::span<const TaskIndex> succ = ws_->successors();
+  std::uint64_t touched = touched_machines_;
+  TaskIndex prev = ws_->task_count();  // never a valid successor value
+  double carry = 0.0;
+  for (const TaskIndex t : ws_->subtree(root)) {
+    const TaskIndex s = succ[t];
+    double downstream;
+    if (s == prev) [[likely]] {
+      downstream = carry;
+    } else if (s == kNoTask) {
+      downstream = 1.0;
+    } else {
+      downstream = x_probe_[s];
+    }
+    carry = downstream * F_cur_[t];
+    x_probe_[t] = carry;
+    xw_probe_[t] = carry * w_cur_[t];
+    touched |= std::uint64_t{1} << (assignment_[t] & 63);
+    prev = t;
+  }
+  touched_machines_ = touched;
+}
+
+double IncrementalEvaluator::probe(std::size_t moved_count) {
+  const std::size_t n = ws_->task_count();
+
+  // x: start from the committed values and recompute only the tasks whose
+  // value can change — the moved tasks and their transitive predecessors.
+  // When one moved task lies upstream of the other its subtree is nested
+  // inside the other's, so a single walk from the downstream task covers
+  // both; disjoint subtrees never read each other's entries.
+  // Stash candidate F values for the moved tasks so the walks run without
+  // per-element compares; restored before the resum (which only needs
+  // w_cur_, left untouched).
+  double saved_F[2];
+  for (std::size_t k = 0; k < moved_count; ++k) {
+    saved_F[k] = F_cur_[moved_task_[k]];
+    F_cur_[moved_task_[k]] = ws_->attempts_row(moved_task_[k])[moved_to_[k]];
+  }
+  touched_machines_ = 0;
+  if (ws_->is_chain()) {
+    // Linear chain (the paper's Section 7 topology): subtree(r) is exactly
+    // the task range [0, r], any two subtrees nest, and only the tail
+    // [r+1, n) must be refreshed from the committed values. The walk is
+    // the same multiply chain as the generic path minus the successor
+    // bookkeeping — every operand is identical, so every result bit is.
+    TaskIndex r = moved_task_[0];
+    if (moved_count == 2 && moved_task_[1] > r) r = moved_task_[1];
+    const std::size_t tail = static_cast<std::size_t>(r) + 1;
+    // Only xw_probe_ needs its tail refreshed: the walk carries x in a
+    // register and the resum reads x_probe_ solely for moved-in tasks,
+    // which always lie inside the walked range [0, r].
+    std::memcpy(xw_probe_.data() + tail, xw_.data() + tail, (n - tail) * sizeof(double));
+    double carry = tail < n ? x_[tail] : 1.0;
+    std::uint64_t touched = 0;
+    for (TaskIndex t = r;; --t) {
+      carry *= F_cur_[t];
+      x_probe_[t] = carry;
+      xw_probe_[t] = carry * w_cur_[t];
+      touched |= std::uint64_t{1} << (assignment_[t] & 63);
+      if (t == 0) break;
+    }
+    touched_machines_ = touched;
+  } else {
+    std::memcpy(x_probe_.data(), x_.data(), n * sizeof(double));
+    std::memcpy(xw_probe_.data(), xw_.data(), n * sizeof(double));
+    if (moved_count == 1) {
+      probe_subtree_x(moved_task_[0]);
+    } else if (ws_->in_subtree(moved_task_[0], moved_task_[1])) {
+      probe_subtree_x(moved_task_[0]);
+    } else if (ws_->in_subtree(moved_task_[1], moved_task_[0])) {
+      probe_subtree_x(moved_task_[1]);
+    } else {
+      probe_subtree_x(moved_task_[0]);
+      probe_subtree_x(moved_task_[1]);
+    }
+  }
+  for (std::size_t k = 0; k < moved_count; ++k) F_cur_[moved_task_[k]] = saved_F[k];
+
+  // Loads: a machine's sum only changes when a moved task leaves or joins
+  // it (membership edit) or one of its members' x was recomputed (it owns
+  // a task in a walked subtree). Everything else keeps its committed sum,
+  // so loads_[q] is reused verbatim — that reuse IS bit-identity, since a
+  // resum over unchanged operands would reproduce it exactly. The final
+  // max is order-independent, so machines are visited by popping mask
+  // bits rather than scanning all m. Every from-machine is in
+  // touched_machines_ already (a moved task is always walked), so only
+  // the to-machines need to be merged into the resum set.
+  const std::size_t m = ws_->machine_count();
+  double best = -1.0;  // loads are non-negative
+  if (m <= 64) {
+    const std::uint64_t all =
+        m == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << m) - std::uint64_t{1};
+    std::uint64_t need = touched_machines_ & all;
+    for (std::size_t k = 0; k < moved_count; ++k) {
+      need |= std::uint64_t{1} << moved_to_[k];
+    }
+    std::uint64_t keep = all & ~need;
+    while (keep != 0) {
+      const auto q = static_cast<MachineIndex>(std::countr_zero(keep));
+      keep &= keep - 1;
+      if (loads_[q] > best) best = loads_[q];
+    }
+    while (need != 0) {
+      const auto q = static_cast<MachineIndex>(std::countr_zero(need));
+      need &= need - 1;
+      const double sum = resum_machine(q, moved_count);
+      if (sum > best) best = sum;
+    }
+  } else {
+    const std::uint64_t touched = touched_machines_;
+    for (MachineIndex q = 0; q < m; ++q) {
+      bool involved = false;
+      for (std::size_t k = 0; k < moved_count; ++k) {
+        involved |= assignment_[moved_task_[k]] == q || moved_to_[k] == q;
+      }
+      double sum;
+      if (!involved && ((touched >> (q & 63)) & 1) == 0) {
+        sum = loads_[q];
+      } else {
+        sum = resum_machine(q, moved_count);
+      }
+      if (sum > best) best = sum;
+    }
+  }
+  return best;
+}
+
+double IncrementalEvaluator::resum_machine(MachineIndex q, std::size_t moved_count) const {
+  // Rebuilds machine q's sum from the CSR member list, tasks ascending —
+  // the operand order core::machine_periods uses — with the accumulator
+  // in a register. Regular members contribute their fused xw_probe_
+  // product (the identical multiply the reference performs); only the
+  // machines a moved task leaves or joins need membership edits.
+  bool involved = false;
+  for (std::size_t k = 0; k < moved_count; ++k) {
+    involved |= assignment_[moved_task_[k]] == q || moved_to_[k] == q;
+  }
+  double sum = 0.0;
+  const std::size_t end = member_begin_[q + 1];
+  if (!involved) [[likely]] {
+    for (std::size_t idx = member_begin_[q]; idx < end; ++idx) {
+      sum += xw_probe_[members_[idx]];
+    }
+  } else {
+    // Merge the <= 2 moved-in tasks at their sorted positions and skip
+    // the moved tasks' stale memberships.
+    TaskIndex inc[2] = {0, 0};
+    std::size_t inc_count = 0;
+    for (std::size_t k = 0; k < moved_count; ++k) {
+      if (moved_to_[k] == q) inc[inc_count++] = moved_task_[k];
+    }
+    if (inc_count == 2 && inc[0] > inc[1]) std::swap(inc[0], inc[1]);
+    std::size_t k = 0;
+    for (std::size_t idx = member_begin_[q]; idx < end; ++idx) {
+      const TaskIndex t = members_[idx];
+      while (k < inc_count && inc[k] < t) {
+        sum += x_probe_[inc[k]] * ws_->time_row(inc[k])[q];
+        ++k;
+      }
+      if (t == moved_task_[0] || t == moved_task_[1]) continue;  // moved off q (or re-merged)
+      sum += xw_probe_[t];
+    }
+    while (k < inc_count) {
+      sum += x_probe_[inc[k]] * ws_->time_row(inc[k])[q];
+      ++k;
+    }
+  }
+  return sum;
+}
+
+double IncrementalEvaluator::period_if_relocated(TaskIndex i, MachineIndex v) {
+  MF_REQUIRE(i < assignment_.size() && v < ws_->machine_count(),
+             "relocate probe out of range");
+  moved_task_[0] = i;
+  moved_to_[0] = v;
+  moved_task_[1] = kNoTask;
+  moved_to_[1] = kUnassigned;
+  return probe(1);
+}
+
+double IncrementalEvaluator::period_if_swapped(TaskIndex i, TaskIndex j) {
+  MF_REQUIRE(i < assignment_.size() && j < assignment_.size(), "swap probe out of range");
+  MF_REQUIRE(i != j, "swap probe needs distinct tasks");
+  moved_task_[0] = i;
+  moved_to_[0] = assignment_[j];
+  moved_task_[1] = j;
+  moved_to_[1] = assignment_[i];
+  return probe(2);
+}
+
+void IncrementalEvaluator::apply_relocate(TaskIndex i, MachineIndex v) {
+  MF_REQUIRE(i < assignment_.size() && v < ws_->machine_count(), "relocate out of range");
+  assignment_[i] = v;
+  rebuild();
+}
+
+void IncrementalEvaluator::apply_swap(TaskIndex i, TaskIndex j) {
+  MF_REQUIRE(i < assignment_.size() && j < assignment_.size(), "swap out of range");
+  std::swap(assignment_[i], assignment_[j]);
+  rebuild();
+}
+
+}  // namespace mf::core

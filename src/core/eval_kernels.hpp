@@ -1,0 +1,198 @@
+// Data-oriented evaluation kernels: the allocation-free fast path under
+// every solver, heuristic and local-search pass.
+//
+// core/evaluation.hpp is the readable reference implementation of the
+// Section 4.1/6.1 period formulas; it allocates fresh x/period vectors per
+// call and re-evaluates the whole mapping. That is fine for scoring one
+// final mapping, but the probe-heavy consumers (local search scans
+// O(n·m + n²) candidate moves per pass) need two stronger tools:
+//
+//   * EvalWorkspace — precomputed structure-of-arrays views over the
+//     platform tables (w rows, cached F = 1/(1-f) rows from
+//     Platform::attempts_row) plus reusable x/load buffers, so a full
+//     evaluation runs zero-allocation with unchecked span indexing in a
+//     form the auto-vectorizer can chew on. It also precomputes the
+//     predecessor-forest DFS layout (subtree of task i = the tasks whose
+//     x_j depend on x_i) that the incremental evaluator walks.
+//
+//   * IncrementalEvaluator — maintains the assignment, every x_i, every
+//     machine load and the running period, and answers
+//     period_if_relocated(i, v) / period_if_swapped(i, j) by recomputing
+//     x only over the affected ancestor chain (the moved tasks' DFS
+//     subtrees), then re-scattering loads in one branch-predictable dense
+//     pass over gathered per-task w/F arrays — no mapping copy, no
+//     allocation, no per-candidate Mapping construction.
+//
+// Bit-identity contract: every number either class produces is the exact
+// double core::period / core::machine_periods would produce for the same
+// mapping. The incremental probes achieve this not by delta arithmetic
+// (subtracting from a float sum is inexact) but by re-running the exact
+// reference operand sequence: x values are the same multiply chains
+// (recomputed only where the move can change them, reused verbatim
+// elsewhere), machine loads are re-scattered over tasks in ascending
+// order — precisely how core::machine_periods accumulates them — from
+// gathered per-task table entries. Local search on top of this layer is
+// therefore move-for-move identical to the copy-and-recompute original,
+// which the pinned-mapping tests in tests/test_eval_kernels.cpp enforce.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/application.hpp"
+#include "core/mapping.hpp"
+#include "core/platform.hpp"
+
+namespace mf::core {
+
+/// Precomputed tables + reusable buffers for zero-allocation evaluation.
+/// Construct once per problem; not thread-safe (one workspace per thread).
+class EvalWorkspace {
+ public:
+  explicit EvalWorkspace(const Problem& problem);
+
+  [[nodiscard]] const Problem& problem() const noexcept { return *problem_; }
+  [[nodiscard]] std::size_t task_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t machine_count() const noexcept { return m_; }
+
+  /// Unchecked SoA row views: w_{i,·} and cached F_{i,·} = 1/(1-f_{i,·}).
+  [[nodiscard]] std::span<const double> time_row(TaskIndex i) const noexcept {
+    return {times_ + i * m_, m_};
+  }
+  [[nodiscard]] std::span<const double> attempts_row(TaskIndex i) const noexcept {
+    return {attempts_ + i * m_, m_};
+  }
+
+  /// Zero-allocation full evaluation into internal buffers. Bit-identical
+  /// to core::expected_products / core::machine_periods / core::period.
+  /// The returned spans alias workspace storage and are invalidated by the
+  /// next call.
+  std::span<const double> expected_products(std::span<const MachineIndex> assignment);
+  std::span<const double> machine_periods(std::span<const MachineIndex> assignment);
+  double period(std::span<const MachineIndex> assignment);
+
+  /// Predecessor-forest DFS layout: `subtree(i)` is the DFS-contiguous
+  /// range of tasks whose x depends on x_i — i itself first, then every
+  /// transitive predecessor, each preceded by its successor. Walking the
+  /// range front-to-back therefore always finds x of a task's successor
+  /// already computed.
+  [[nodiscard]] std::span<const TaskIndex> subtree(TaskIndex i) const noexcept {
+    return {dfs_order_.data() + dfs_pos_[i], subtree_size_[i]};
+  }
+  /// True when `inner` is a strict transitive predecessor of `outer`
+  /// (inner's x depends on outer's machine choice). O(1).
+  [[nodiscard]] bool in_subtree(TaskIndex outer, TaskIndex inner) const noexcept {
+    return dfs_pos_[outer] < dfs_pos_[inner] &&
+           dfs_pos_[inner] < dfs_pos_[outer] + subtree_size_[outer];
+  }
+
+  /// Successor of each task as a contiguous array (kNoTask for sinks):
+  /// the hot loops read it sequentially instead of chasing the
+  /// Application's adjacency structure.
+  [[nodiscard]] std::span<const TaskIndex> successors() const noexcept { return succ_; }
+
+  /// True for the paper's linear-chain topology (T_0 -> ... -> T_{n-1}),
+  /// where subtree(i) is exactly the task range [0, i] and the probes take
+  /// a branch-free fast path.
+  [[nodiscard]] bool is_chain() const noexcept { return chain_; }
+
+ private:
+  const Problem* problem_;
+  std::size_t n_;
+  std::size_t m_;
+  const double* times_;     // problem_->platform row-major n x m
+  const double* attempts_;  // cached F table, same shape
+  bool chain_ = false;
+
+  // Predecessor-forest DFS layout.
+  std::vector<TaskIndex> dfs_order_;       // n: tasks in DFS entry order
+  std::vector<std::size_t> dfs_pos_;       // n: position of task i in dfs_order_
+  std::vector<std::size_t> subtree_size_;  // n: |subtree rooted at i|
+  std::vector<TaskIndex> succ_;            // n: successor of each task
+
+  // Reusable evaluation buffers.
+  std::vector<double> x_;      // n
+  std::vector<double> loads_;  // m
+};
+
+/// Incremental move evaluation for local search: O(|ancestors| + touched
+/// machines) probes instead of O(n + m) full re-evaluations, with zero
+/// heap allocations per probe and results bit-identical to
+/// core::period on the mutated mapping.
+class IncrementalEvaluator {
+ public:
+  /// Binds to a workspace (which outlives the evaluator) and a complete
+  /// initial assignment.
+  IncrementalEvaluator(EvalWorkspace& workspace, std::span<const MachineIndex> assignment);
+  IncrementalEvaluator(EvalWorkspace& workspace, const Mapping& mapping);
+
+  /// Current exact system period (== core::period on assignment()).
+  [[nodiscard]] double period() const noexcept { return period_; }
+  /// Current exact per-machine periods (== core::machine_periods).
+  [[nodiscard]] std::span<const double> loads() const noexcept { return loads_; }
+  /// Current exact per-task expected products (== core::expected_products).
+  [[nodiscard]] std::span<const double> expected_products() const noexcept { return x_; }
+  [[nodiscard]] std::span<const MachineIndex> assignment() const noexcept {
+    return assignment_;
+  }
+  [[nodiscard]] MachineIndex machine_of(TaskIndex i) const noexcept { return assignment_[i]; }
+
+  /// Exact period if task i moved to machine v; the mapping is unchanged.
+  double period_if_relocated(TaskIndex i, MachineIndex v);
+  /// Exact period if tasks i and j exchanged machines; mapping unchanged.
+  double period_if_swapped(TaskIndex i, TaskIndex j);
+
+  /// Commits a move and restores the full-evaluation invariants.
+  void apply_relocate(TaskIndex i, MachineIndex v);
+  void apply_swap(TaskIndex i, TaskIndex j);
+
+  /// Rebinds to a new complete assignment without reallocating.
+  void reset(std::span<const MachineIndex> assignment);
+
+ private:
+  void rebuild();
+  /// Shared probe core: tasks `moved_task_[0..moved_count)` take machine
+  /// `moved_to_[k]`; everything else keeps its machine. Returns the exact
+  /// period of that candidate mapping. x is recomputed only over the
+  /// moved tasks' subtrees (into the x_probe_ mirror); machine sums are
+  /// then rebuilt per machine from the CSR member lists — each in
+  /// ascending task order, the reference accumulation order — folding the
+  /// running max as machines complete.
+  double probe(std::size_t moved_count);
+  void probe_subtree_x(TaskIndex root);
+  double resum_machine(MachineIndex q, std::size_t moved_count) const;
+
+  EvalWorkspace* ws_;
+  std::vector<MachineIndex> assignment_;  // n
+  std::vector<double> x_;                 // n: exact expected products
+  std::vector<double> loads_;             // m: exact machine periods
+  double period_ = 0.0;
+
+  // Gathered per-task table entries for the current assignment:
+  // w_cur_[t] = w_{t, a(t)} and F_cur_[t] = F_{t, a(t)} — the identical
+  // doubles the strided rows hold, laid out for sequential access —
+  // plus the fused product xw_[t] = x_[t] * w_cur_[t], the exact term
+  // each machine sum accumulates for an unmoved task.
+  std::vector<double> w_cur_;  // n
+  std::vector<double> F_cur_;  // n
+  std::vector<double> xw_;     // n
+
+  // CSR members-per-machine view of the assignment, tasks ascending
+  // within each machine (the reference summation order).
+  std::vector<TaskIndex> members_;         // n, grouped by machine
+  std::vector<std::size_t> member_begin_;  // m + 1
+  std::vector<std::size_t> csr_cursor_;    // m, rebuild scratch
+
+  // Per-probe scratch (no allocation per probe): x_probe_/xw_probe_ start
+  // as copies of x_/xw_ and get the affected subtrees overwritten;
+  // touched_machines_ marks (mod-64, conservatively for m > 64) the
+  // machines owning a recomputed task, so the probe resums only those.
+  std::vector<double> x_probe_;   // n
+  std::vector<double> xw_probe_;  // n
+  std::uint64_t touched_machines_ = 0;
+  TaskIndex moved_task_[2] = {kNoTask, kNoTask};
+  MachineIndex moved_to_[2] = {kUnassigned, kUnassigned};
+};
+
+}  // namespace mf::core

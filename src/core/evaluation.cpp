@@ -61,9 +61,10 @@ std::vector<double> max_expected_products(const Problem& problem) {
   for (TaskIndex i : app.backward_order()) {
     const TaskIndex succ = app.successor(i);
     const double downstream = succ == kNoTask ? 1.0 : max_x[succ];
+    // Column max over the failure row via the unchecked span view.
     double worst_f = 0.0;
-    for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
-      worst_f = std::max(worst_f, problem.platform.failure(i, u));
+    for (const double f : problem.platform.failure_row(i)) {
+      worst_f = std::max(worst_f, f);
     }
     max_x[i] = downstream * survival_inverse(worst_f);
   }
@@ -75,8 +76,8 @@ double period_upper_bound(const Problem& problem) {
   double bound = 0.0;
   for (TaskIndex i = 0; i < problem.task_count(); ++i) {
     double slowest = 0.0;
-    for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
-      slowest = std::max(slowest, problem.platform.time(i, u));
+    for (const double w : problem.platform.time_row(i)) {
+      slowest = std::max(slowest, w);
     }
     bound += max_x[i] * slowest;
   }

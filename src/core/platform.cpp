@@ -13,12 +13,14 @@ Platform::Platform(support::Matrix times, support::Matrix failures)
   MF_REQUIRE(times_.rows() > 0 && times_.cols() > 0, "platform needs tasks and machines");
   MF_REQUIRE(times_.rows() == failures_.rows() && times_.cols() == failures_.cols(),
              "time/failure matrix shape mismatch");
+  attempts_ = support::Matrix(times_.rows(), times_.cols());
   for (std::size_t i = 0; i < times_.rows(); ++i) {
     for (std::size_t u = 0; u < times_.cols(); ++u) {
       MF_REQUIRE(times_.at(i, u) > 0.0 && std::isfinite(times_.at(i, u)),
                  "processing times must be positive and finite");
       MF_REQUIRE(failures_.at(i, u) >= 0.0 && failures_.at(i, u) < 1.0,
                  "failure rates must lie in [0, 1)");
+      attempts_.at(i, u) = survival_inverse(failures_.at(i, u));
     }
   }
 }
@@ -41,10 +43,6 @@ Platform Platform::from_type_tables(const Application& app, const support::Matri
     }
   }
   return Platform{std::move(w), std::move(f)};
-}
-
-double Platform::attempts_per_success(TaskIndex i, MachineIndex u) const {
-  return survival_inverse(failure(i, u));
 }
 
 bool Platform::has_type_uniform_times(const Application& app) const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 
 #include "core/application.hpp"
@@ -39,7 +40,25 @@ class Platform {
   /// f_{i,u}: probability the product is lost while task i runs on u.
   [[nodiscard]] double failure(TaskIndex i, MachineIndex u) const { return failures_.at(i, u); }
   /// F_{i,u} = 1/(1-f_{i,u}): expected products consumed per success.
-  [[nodiscard]] double attempts_per_success(TaskIndex i, MachineIndex u) const;
+  /// Precomputed once at construction (survival_inverse of each entry, so
+  /// the f -> 1 => +inf edge semantics are preserved verbatim — though the
+  /// constructor's f < 1 requirement keeps every cached value finite);
+  /// lookups never divide.
+  [[nodiscard]] double attempts_per_success(TaskIndex i, MachineIndex u) const {
+    return attempts_.at(i, u);
+  }
+
+  /// Unchecked per-task row views over the w / f / F tables for hot loops
+  /// (the `row_data` span idiom of support::Matrix).
+  [[nodiscard]] std::span<const double> time_row(TaskIndex i) const noexcept {
+    return times_.row_data(i);
+  }
+  [[nodiscard]] std::span<const double> failure_row(TaskIndex i) const noexcept {
+    return failures_.row_data(i);
+  }
+  [[nodiscard]] std::span<const double> attempts_row(TaskIndex i) const noexcept {
+    return attempts_.row_data(i);
+  }
 
   /// Checks the Section 3.2 type-uniformity constraint
   /// t(i)=t(i') => w_{i,u}=w_{i',u} against an application.
@@ -53,6 +72,7 @@ class Platform {
  private:
   support::Matrix times_;
   support::Matrix failures_;
+  support::Matrix attempts_;  ///< cached F = 1/(1-f), same shape as failures_
 };
 
 /// A problem instance: the application plus a platform with matching task

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "exact/hopcroft_karp.hpp"
@@ -15,8 +16,11 @@ namespace {
 MatchingResult probe(const support::Matrix& cost, double threshold) {
   BipartiteGraph graph(cost.rows(), cost.cols());
   for (std::size_t r = 0; r < cost.rows(); ++r) {
-    for (std::size_t c = 0; c < cost.cols(); ++c) {
-      if (cost.at(r, c) <= threshold) graph.add_edge(r, c);
+    // Each binary-search step rescans the whole matrix; use the unchecked
+    // row view instead of per-edge bounds checks.
+    const std::span<const double> row = cost.row_data(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c] <= threshold) graph.add_edge(r, c);
     }
   }
   return maximum_matching(graph);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "support/check.hpp"
 
@@ -33,11 +34,14 @@ AssignmentResult solve_assignment(const support::Matrix& cost) {
     do {
       used[j0] = true;
       const std::size_t i0 = match[j0];
+      // Row reduction over the unchecked span view: this is the O(n·m²)
+      // inner loop of the whole algorithm.
+      const std::span<const double> cost_row = cost.row_data(i0 - 1);
       double delta = kInf;
       std::size_t j1 = 0;
       for (std::size_t j = 1; j <= m; ++j) {
         if (used[j]) continue;
-        const double reduced = cost.at(i0 - 1, j - 1) - u[i0] - v[j];
+        const double reduced = cost_row[j - 1] - u[i0] - v[j];
         if (reduced < min_v[j]) {
           min_v[j] = reduced;
           way[j] = j0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/failure.hpp"
@@ -41,6 +42,11 @@ struct Searcher {
   double incumbent = std::numeric_limits<double>::infinity();
   std::vector<MachineIndex> incumbent_assignment;
   bool budget_exhausted = false;
+  /// Scratch for lower_bound, sized once: every entry read is written
+  /// earlier in the same call (successors precede predecessors in the
+  /// backward order), so stale values are never observed and the search
+  /// allocates nothing per node.
+  std::vector<double> opt_x_scratch;
 
   Searcher(const core::Problem& p, const BnBOptions& opts)
       : problem(p),
@@ -54,13 +60,18 @@ struct Searcher {
         machine_type(p.machine_count(), core::kNoTask),
         free_machines(p.machine_count()),
         types_to_go(p.type_count()),
-        type_machine_count(p.type_count(), 0) {
+        type_machine_count(p.type_count(), 0),
+        opt_x_scratch(p.task_count(), 0.0) {
     for (TaskIndex i = 0; i < p.task_count(); ++i) {
       double best_f = std::numeric_limits<double>::infinity();
       double best_w = std::numeric_limits<double>::infinity();
+      // Row reductions over the cached F table and the w row (span idiom):
+      // the cached attempts value is the same survival_inverse double.
+      const std::span<const double> attempts_row = p.platform.attempts_row(i);
+      const std::span<const double> time_row = p.platform.time_row(i);
       for (MachineIndex u = 0; u < p.machine_count(); ++u) {
-        best_f = std::min(best_f, core::survival_inverse(p.platform.failure(i, u)));
-        best_w = std::min(best_w, p.platform.time(i, u));
+        best_f = std::min(best_f, attempts_row[u]);
+        best_w = std::min(best_w, time_row[u]);
       }
       min_attempts[i] = best_f;
       min_time[i] = best_w;
@@ -81,14 +92,14 @@ struct Searcher {
   }
 
   /// Lower bound on the best complete period below this node.
-  [[nodiscard]] double lower_bound(std::size_t depth) const {
+  [[nodiscard]] double lower_bound(std::size_t depth) {
     double bound = *std::max_element(loads.begin(), loads.end());
 
     // Optimistic x for remaining tasks: successors in backward order are
     // either assigned (exact x) or computed earlier in this very loop.
     double optimistic_work = 0.0;
     double best_single = 0.0;
-    std::vector<double> opt_x(problem.task_count(), 0.0);
+    std::vector<double>& opt_x = opt_x_scratch;
     for (std::size_t d = depth; d < order.size(); ++d) {
       const TaskIndex i = order[d];
       const TaskIndex succ = problem.app.successor(i);
@@ -128,6 +139,10 @@ struct Searcher {
     const TaskIndex i = order[depth];
     const TypeIndex t = problem.app.type_of(i);
     const double x_base = downstream_products(i);
+    // Hot row views for this task: w, f, and the cached F = 1/(1-f).
+    const std::span<const double> time_row = problem.platform.time_row(i);
+    const std::span<const double> failure_row = problem.platform.failure_row(i);
+    const std::span<const double> attempts_row = problem.platform.attempts_row(i);
 
     // Candidate machines sorted by resulting load: good incumbents early.
     struct Candidate {
@@ -149,8 +164,8 @@ struct Searcher {
         if (considered_free) {
           for (const Candidate& c : candidates) {
             if (machine_type[c.machine] == core::kNoTask && loads[c.machine] == 0.0 &&
-                problem.platform.time(i, c.machine) == problem.platform.time(i, u) &&
-                problem.platform.failure(i, c.machine) == problem.platform.failure(i, u)) {
+                time_row[c.machine] == time_row[u] &&
+                failure_row[c.machine] == failure_row[u]) {
               duplicate = true;
               break;
             }
@@ -159,8 +174,8 @@ struct Searcher {
         considered_free = true;
         if (duplicate) continue;
       }
-      const double xi = x_base * problem.platform.attempts_per_success(i, u);
-      candidates.push_back({u, loads[u] + xi * problem.platform.time(i, u)});
+      const double xi = x_base * attempts_row[u];
+      candidates.push_back({u, loads[u] + xi * time_row[u]});
     }
     std::stable_sort(candidates.begin(), candidates.end(),
                      [](const Candidate& a, const Candidate& b) {
@@ -173,8 +188,8 @@ struct Searcher {
 
       // Apply.
       const TypeIndex saved_type = machine_type[u];
-      const double xi = x_base * problem.platform.attempts_per_success(i, u);
-      const double increment = xi * problem.platform.time(i, u);
+      const double xi = x_base * attempts_row[u];
+      const double increment = xi * time_row[u];
       const bool newly_dedicated = saved_type == core::kNoTask;
       assignment[i] = u;
       x[i] = xi;

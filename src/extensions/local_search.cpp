@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "core/eval_kernels.hpp"
 #include "support/check.hpp"
 
 namespace mf::ext {
@@ -15,30 +17,35 @@ using core::TypeIndex;
 
 namespace {
 
-/// Mutable view of a specialized mapping with cheap validity bookkeeping:
-/// per-machine task counts and served type.
+/// Mutable view of a specialized mapping: move probes and the running
+/// period/loads are answered by the incremental evaluator (zero-allocation
+/// ancestor-chain probes, bit-identical to full re-evaluation), while this
+/// struct keeps the cheap specialization bookkeeping — per-machine task
+/// counts and served type.
 struct State {
   const core::Problem& problem;
-  std::vector<MachineIndex> assignment;
+  core::EvalWorkspace workspace;
+  core::IncrementalEvaluator eval;
   std::vector<std::size_t> machine_tasks;
   std::vector<TypeIndex> machine_type;  // kNoTask when free
-  double period;
 
   State(const core::Problem& p, const core::Mapping& mapping)
       : problem(p),
-        assignment(mapping.assignment()),
+        workspace(p),
+        eval(workspace, mapping),
         machine_tasks(p.machine_count(), 0),
-        machine_type(p.machine_count(), kNoTask),
-        period(core::period(p, mapping)) {
-    for (TaskIndex i = 0; i < assignment.size(); ++i) {
-      const MachineIndex u = assignment[i];
+        machine_type(p.machine_count(), kNoTask) {
+    for (TaskIndex i = 0; i < p.task_count(); ++i) {
+      const MachineIndex u = eval.machine_of(i);
       ++machine_tasks[u];
       machine_type[u] = p.app.type_of(i);
     }
   }
 
+  [[nodiscard]] double period() const noexcept { return eval.period(); }
+
   [[nodiscard]] bool relocate_valid(TaskIndex i, MachineIndex v) const {
-    if (assignment[i] == v) return false;
+    if (eval.machine_of(i) == v) return false;
     return machine_type[v] == kNoTask || machine_type[v] == problem.app.type_of(i);
   }
 
@@ -48,42 +55,27 @@ struct State {
   /// that reduces to: either t(i) == t(j) (trivially fine) or both tasks
   /// are alone on their machines.
   [[nodiscard]] bool swap_valid(TaskIndex i, TaskIndex j) const {
-    const MachineIndex u = assignment[i];
-    const MachineIndex v = assignment[j];
+    const MachineIndex u = eval.machine_of(i);
+    const MachineIndex v = eval.machine_of(j);
     if (u == v) return false;
     if (problem.app.type_of(i) == problem.app.type_of(j)) return true;
     return machine_tasks[u] == 1 && machine_tasks[v] == 1;
   }
 
-  [[nodiscard]] double period_if_relocated(TaskIndex i, MachineIndex v) const {
-    std::vector<MachineIndex> candidate = assignment;
-    candidate[i] = v;
-    return core::period(problem, core::Mapping{std::move(candidate)});
-  }
-
-  [[nodiscard]] double period_if_swapped(TaskIndex i, TaskIndex j) const {
-    std::vector<MachineIndex> candidate = assignment;
-    std::swap(candidate[i], candidate[j]);
-    return core::period(problem, core::Mapping{std::move(candidate)});
-  }
-
-  void apply_relocate(TaskIndex i, MachineIndex v, double new_period) {
-    const MachineIndex u = assignment[i];
-    assignment[i] = v;
+  void apply_relocate(TaskIndex i, MachineIndex v) {
+    const MachineIndex u = eval.machine_of(i);
+    eval.apply_relocate(i, v);
     if (--machine_tasks[u] == 0) machine_type[u] = kNoTask;
     ++machine_tasks[v];
     machine_type[v] = problem.app.type_of(i);
-    period = new_period;
   }
 
-  void apply_swap(TaskIndex i, TaskIndex j, double new_period) {
-    const MachineIndex u = assignment[i];
-    const MachineIndex v = assignment[j];
-    assignment[i] = v;
-    assignment[j] = u;
+  void apply_swap(TaskIndex i, TaskIndex j) {
+    const MachineIndex u = eval.machine_of(i);
+    const MachineIndex v = eval.machine_of(j);
+    eval.apply_swap(i, j);
     machine_type[u] = problem.app.type_of(j);
     machine_type[v] = problem.app.type_of(i);
-    period = new_period;
   }
 };
 
@@ -110,7 +102,7 @@ RefinementResult refine_mapping(const core::Problem& problem, const core::Mappin
 
   State state(problem, initial);
   RefinementResult result;
-  result.initial_period = state.period;
+  result.initial_period = state.period();
 
   const std::size_t n = problem.task_count();
   const std::size_t m = problem.machine_count();
@@ -118,7 +110,7 @@ RefinementResult refine_mapping(const core::Problem& problem, const core::Mappin
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
     ++result.passes;
     std::optional<Move> best;
-    const double threshold = state.period * (1.0 - options.min_relative_gain);
+    const double threshold = state.period() * (1.0 - options.min_relative_gain);
 
     auto consider = [&](Move move) -> bool {
       if (move.new_period >= threshold) return false;
@@ -129,23 +121,25 @@ RefinementResult refine_mapping(const core::Problem& problem, const core::Mappin
       return options.first_improvement;
     };
 
-    const std::vector<double> loads = core::machine_periods(
-        problem, core::Mapping{state.assignment});
+    // The evaluator maintains the exact per-machine periods; no per-pass
+    // re-evaluation needed. Values are stable for the whole scan because
+    // moves apply only after it.
+    const std::span<const double> loads = state.eval.loads();
     bool stop_scan = false;
     for (TaskIndex i = 0; i < n && !stop_scan; ++i) {
       for (MachineIndex v = 0; v < m && !stop_scan; ++v) {
         if (!state.relocate_valid(i, v)) continue;
         stop_scan = consider({Move::Kind::kRelocate, i, v,
-                              state.period_if_relocated(i, v), loads[v]});
+                              state.eval.period_if_relocated(i, v), loads[v]});
       }
     }
     if (options.allow_swaps) {
       for (TaskIndex i = 0; i < n && !stop_scan; ++i) {
         for (TaskIndex j = i + 1; j < n && !stop_scan; ++j) {
           if (!state.swap_valid(i, j)) continue;
-          stop_scan = consider({Move::Kind::kSwap, i, j, state.period_if_swapped(i, j),
-                                std::max(loads[state.assignment[i]],
-                                         loads[state.assignment[j]])});
+          stop_scan = consider({Move::Kind::kSwap, i, j, state.eval.period_if_swapped(i, j),
+                                std::max(loads[state.eval.machine_of(i)],
+                                         loads[state.eval.machine_of(j)])});
         }
       }
     }
@@ -155,15 +149,17 @@ RefinementResult refine_mapping(const core::Problem& problem, const core::Mappin
       break;
     }
     if (best->kind == Move::Kind::kRelocate) {
-      state.apply_relocate(best->first, best->second, best->new_period);
+      state.apply_relocate(best->first, best->second);
     } else {
-      state.apply_swap(best->first, best->second, best->new_period);
+      state.apply_swap(best->first, best->second);
     }
     ++result.moves_applied;
   }
 
-  result.mapping = core::Mapping{std::move(state.assignment)};
-  result.period = state.period;
+  const std::span<const MachineIndex> final_assignment = state.eval.assignment();
+  result.mapping =
+      core::Mapping{std::vector<MachineIndex>(final_assignment.begin(), final_assignment.end())};
+  result.period = state.period();
   MF_CHECK(result.period <= result.initial_period + 1e-9,
            "local search must never worsen the mapping");
   return result;

@@ -85,7 +85,10 @@ double AssignmentState::downstream_products(TaskIndex i) const {
 }
 
 double AssignmentState::products_if(TaskIndex i, MachineIndex u) const {
-  return downstream_products(i) * problem_->platform.attempts_per_success(i, u);
+  // Cached F row (same survival_inverse doubles as attempts_per_success,
+  // computed once at Platform construction) via the unchecked span view:
+  // this runs once per candidate machine in every greedy scan.
+  return downstream_products(i) * problem_->platform.attempts_row(i)[u];
 }
 
 double AssignmentState::load(MachineIndex u) const {
@@ -94,7 +97,7 @@ double AssignmentState::load(MachineIndex u) const {
 }
 
 double AssignmentState::load_if(TaskIndex i, MachineIndex u) const {
-  return loads_[u] + products_if(i, u) * problem_->platform.time(i, u);
+  return loads_[u] + products_if(i, u) * problem_->platform.time_row(i)[u];
 }
 
 bool AssignmentState::allowed(TaskIndex i, MachineIndex u) const {
@@ -108,7 +111,7 @@ void AssignmentState::assign(TaskIndex i, MachineIndex u) {
   const double x = products_if(i, u);
   mapping_[i] = u;
   x_[i] = x;
-  loads_[u] += x * problem_->platform.time(i, u);
+  loads_[u] += x * problem_->platform.time_row(i)[u];
   ++assigned_;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/mapping.hpp"
@@ -68,6 +69,10 @@ class AssignmentState {
   /// Load (ms per finished product) machine u carries from tasks already
   /// assigned to it: the partial period(M_u).
   [[nodiscard]] double load(core::MachineIndex u) const;
+
+  /// All partial machine loads as an unchecked span, for candidate scans
+  /// that walk every machine anyway.
+  [[nodiscard]] std::span<const double> loads() const noexcept { return loads_; }
 
   /// True period of machine u if task i were added to it.
   [[nodiscard]] double load_if(core::TaskIndex i, core::MachineIndex u) const;

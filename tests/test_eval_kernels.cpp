@@ -1,0 +1,311 @@
+// Equivalence suite for the data-oriented evaluation kernels
+// (core/eval_kernels.hpp). The whole point of EvalWorkspace and
+// IncrementalEvaluator is that they are *bit-identical* to the readable
+// reference implementation in core/evaluation.hpp — not approximately
+// equal, EXPECT_EQ-on-doubles equal — so every test here compares exact
+// doubles:
+//
+//   * EvalWorkspace full evaluations vs core::expected_products /
+//     machine_periods / period, over every registered scenario family
+//     (chains) and random in-trees (joins exercise the subtree walks);
+//   * IncrementalEvaluator probes vs copy-mutate-and-fully-reevaluate,
+//     over long random relocate/swap sequences with interleaved applies;
+//   * the refactored local search vs pre-refactor golden mappings
+//     (tests/golden_local_search.inc, captured from the
+//     copy-and-recompute implementation): byte-identical assignments and
+//     bit-equal periods for pinned seeds across H1..H4f;
+//   * the Platform's construction-time attempts cache vs survival_inverse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/eval_kernels.hpp"
+#include "core/evaluation.hpp"
+#include "core/failure.hpp"
+#include "exp/scenario.hpp"
+#include "exp/scenario_registry.hpp"
+#include "extensions/local_search.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/rng.hpp"
+
+namespace mf {
+namespace {
+
+using core::MachineIndex;
+using core::TaskIndex;
+
+/// A uniformly random complete assignment (no specialization constraint:
+/// the kernels evaluate any complete mapping).
+std::vector<MachineIndex> random_assignment(const core::Problem& problem,
+                                            support::Rng& rng) {
+  std::vector<MachineIndex> assignment(problem.task_count());
+  for (TaskIndex i = 0; i < problem.task_count(); ++i) {
+    assignment[i] = rng.uniform_u64(0, problem.machine_count() - 1);
+  }
+  return assignment;
+}
+
+/// The pre-refactor probe: copy the assignment, mutate, fully re-evaluate.
+double full_eval_period(const core::Problem& problem,
+                        std::vector<MachineIndex> assignment, TaskIndex i,
+                        MachineIndex v) {
+  assignment[i] = v;
+  return core::period(problem, core::Mapping{assignment});
+}
+
+double full_eval_swap_period(const core::Problem& problem,
+                             std::vector<MachineIndex> assignment, TaskIndex i,
+                             TaskIndex j) {
+  std::swap(assignment[i], assignment[j]);
+  return core::period(problem, core::Mapping{assignment});
+}
+
+/// Drives a long random probe/apply sequence and checks every number the
+/// incremental evaluator produces against the reference implementation.
+void check_incremental_equivalence(const core::Problem& problem, std::uint64_t seed,
+                                   std::size_t steps) {
+  support::Rng rng(seed);
+  core::EvalWorkspace workspace(problem);
+  std::vector<MachineIndex> assignment = random_assignment(problem, rng);
+  core::IncrementalEvaluator eval(workspace, assignment);
+
+  ASSERT_EQ(eval.period(), core::period(problem, core::Mapping{assignment}));
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const TaskIndex i = rng.uniform_u64(0, problem.task_count() - 1);
+    if (rng.uniform_u64(0, 1) == 0) {
+      const MachineIndex v = rng.uniform_u64(0, problem.machine_count() - 1);
+      const double probed = eval.period_if_relocated(i, v);
+      ASSERT_EQ(probed, full_eval_period(problem, assignment, i, v))
+          << "relocate probe diverged at step " << step;
+      if (rng.uniform_u64(0, 3) == 0) {
+        eval.apply_relocate(i, v);
+        assignment[i] = v;
+      }
+    } else {
+      TaskIndex j = rng.uniform_u64(0, problem.task_count() - 1);
+      if (j == i) j = (j + 1) % problem.task_count();  // probes need i != j
+      const double probed = eval.period_if_swapped(i, j);
+      ASSERT_EQ(probed, full_eval_swap_period(problem, assignment, i, j))
+          << "swap probe diverged at step " << step;
+      if (rng.uniform_u64(0, 3) == 0) {
+        eval.apply_swap(i, j);
+        std::swap(assignment[i], assignment[j]);
+      }
+    }
+    // Probes must not disturb the committed state; applies must restore
+    // the full-evaluation invariants exactly.
+    ASSERT_EQ(eval.period(), core::period(problem, core::Mapping{assignment}))
+        << "committed period diverged at step " << step;
+  }
+
+  // After the whole walk, every cached quantity still matches the
+  // reference, element for element.
+  const core::Mapping mapping{assignment};
+  const std::vector<double> ref_x = core::expected_products(problem, mapping);
+  const std::vector<double> ref_loads = core::machine_periods(problem, mapping);
+  ASSERT_EQ(eval.expected_products().size(), ref_x.size());
+  for (TaskIndex i = 0; i < ref_x.size(); ++i) {
+    EXPECT_EQ(eval.expected_products()[i], ref_x[i]) << "x[" << i << "]";
+  }
+  ASSERT_EQ(eval.loads().size(), ref_loads.size());
+  for (MachineIndex u = 0; u < ref_loads.size(); ++u) {
+    EXPECT_EQ(eval.loads()[u], ref_loads[u]) << "load[" << u << "]";
+  }
+}
+
+TEST(PlatformAttemptsCache, BitEqualsSurvivalInverse) {
+  exp::Scenario scenario;
+  scenario.tasks = 25;
+  scenario.machines = 8;
+  scenario.types = 4;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const core::Problem problem = exp::generate(scenario, seed);
+    for (TaskIndex i = 0; i < problem.task_count(); ++i) {
+      const std::span<const double> row = problem.platform.attempts_row(i);
+      for (MachineIndex u = 0; u < problem.machine_count(); ++u) {
+        const double reference = core::survival_inverse(problem.platform.failure(i, u));
+        EXPECT_EQ(problem.platform.attempts_per_success(i, u), reference);
+        EXPECT_EQ(row[u], reference);
+      }
+    }
+  }
+}
+
+TEST(PlatformAttemptsCache, EdgeRatesKeepSurvivalInverseSemantics) {
+  // survival_inverse keeps its f -> 1 => +inf edge; the Platform itself
+  // rejects f = 1 by precondition, so the cache only ever holds the same
+  // finite doubles survival_inverse produces on [0, 1) — including the
+  // near-certain-failure extreme.
+  EXPECT_TRUE(std::isinf(core::survival_inverse(1.0)));
+  support::Matrix times(1, 2);
+  times.at(0, 0) = 100.0;
+  times.at(0, 1) = 200.0;
+  support::Matrix failures(1, 2);
+  failures.at(0, 0) = 0.0;
+  const double near_one = 1.0 - 1e-12;
+  failures.at(0, 1) = near_one;
+  const core::Platform platform(std::move(times), std::move(failures));
+  EXPECT_EQ(platform.attempts_per_success(0, 0), 1.0);
+  EXPECT_EQ(platform.attempts_per_success(0, 1), core::survival_inverse(near_one));
+}
+
+TEST(EvalWorkspace, FullEvaluationBitIdenticalToReference) {
+  for (const std::string& id : exp::ScenarioRegistry::instance().ids()) {
+    const auto generator = exp::ScenarioRegistry::instance().resolve(id);
+    exp::Scenario scenario;
+    scenario.tasks = 30;
+    scenario.machines = 7;
+    scenario.types = 3;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const exp::Instance instance = generator->generate(scenario, seed);
+      const core::Problem& problem = *instance.effective;
+      core::EvalWorkspace workspace(problem);
+      support::Rng rng(seed * 97 + 13);
+      for (int trial = 0; trial < 8; ++trial) {
+        const std::vector<MachineIndex> assignment = random_assignment(problem, rng);
+        const core::Mapping mapping{assignment};
+        const std::vector<double> ref_x = core::expected_products(problem, mapping);
+        const std::vector<double> ref_loads = core::machine_periods(problem, mapping);
+        const std::span<const double> x = workspace.expected_products(assignment);
+        for (TaskIndex i = 0; i < ref_x.size(); ++i) EXPECT_EQ(x[i], ref_x[i]);
+        const std::span<const double> loads = workspace.machine_periods(assignment);
+        for (MachineIndex u = 0; u < ref_loads.size(); ++u) {
+          EXPECT_EQ(loads[u], ref_loads[u]);
+        }
+        EXPECT_EQ(workspace.period(assignment), core::period(problem, mapping));
+      }
+    }
+  }
+}
+
+TEST(EvalWorkspace, SubtreeLayoutMatchesTransitivePredecessors) {
+  exp::Scenario scenario;
+  scenario.tasks = 24;
+  scenario.machines = 6;
+  scenario.types = 3;
+  const core::Problem problem = exp::generate_in_tree(scenario, 0.4, 11);
+  core::EvalWorkspace workspace(problem);
+
+  // Reference transitive-predecessor sets by fixpoint over the successor
+  // relation: j is in subtree(i) iff following successors from j reaches i.
+  for (TaskIndex i = 0; i < problem.task_count(); ++i) {
+    std::vector<bool> expected(problem.task_count(), false);
+    for (TaskIndex j = 0; j < problem.task_count(); ++j) {
+      TaskIndex walk = j;
+      while (walk != core::kNoTask) {
+        if (walk == i) {
+          expected[j] = true;
+          break;
+        }
+        walk = problem.app.successor(walk);
+      }
+    }
+    std::vector<bool> actual(problem.task_count(), false);
+    for (const TaskIndex j : workspace.subtree(i)) actual[j] = true;
+    EXPECT_EQ(actual, expected) << "subtree(" << i << ")";
+    EXPECT_EQ(workspace.subtree(i).front(), i) << "subtree root must lead";
+    for (TaskIndex j = 0; j < problem.task_count(); ++j) {
+      EXPECT_EQ(workspace.in_subtree(i, j), expected[j] && j != i)
+          << "in_subtree(" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(IncrementalEvaluator, RandomWalkMatchesFullEvalOnEveryScenarioFamily) {
+  for (const std::string& id : exp::ScenarioRegistry::instance().ids()) {
+    const auto generator = exp::ScenarioRegistry::instance().resolve(id);
+    exp::Scenario scenario;
+    scenario.tasks = 26;
+    scenario.machines = 6;
+    scenario.types = 3;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      const exp::Instance instance = generator->generate(scenario, seed);
+      SCOPED_TRACE("scenario " + id + " seed " + std::to_string(seed));
+      check_incremental_equivalence(*instance.effective, seed * 1009 + 7, 150);
+    }
+  }
+}
+
+TEST(IncrementalEvaluator, RandomWalkMatchesFullEvalOnInTrees) {
+  exp::Scenario scenario;
+  scenario.tasks = 32;
+  scenario.machines = 8;
+  scenario.types = 4;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const core::Problem problem = exp::generate_in_tree(scenario, 0.35, seed);
+    SCOPED_TRACE("in-tree seed " + std::to_string(seed));
+    check_incremental_equivalence(problem, seed * 271 + 3, 200);
+  }
+}
+
+TEST(IncrementalEvaluator, ResetRebindsWithoutStaleState) {
+  exp::Scenario scenario;
+  scenario.tasks = 15;
+  scenario.machines = 5;
+  scenario.types = 2;
+  const core::Problem problem = exp::generate(scenario, 4);
+  core::EvalWorkspace workspace(problem);
+  support::Rng rng(99);
+  const std::vector<MachineIndex> first = random_assignment(problem, rng);
+  const std::vector<MachineIndex> second = random_assignment(problem, rng);
+  core::IncrementalEvaluator eval(workspace, first);
+  (void)eval.period_if_relocated(0, 1);  // dirty the probe scratch
+  eval.reset(second);
+  EXPECT_EQ(eval.period(), core::period(problem, core::Mapping{second}));
+  const std::vector<double> ref = core::machine_periods(problem, core::Mapping{second});
+  for (MachineIndex u = 0; u < ref.size(); ++u) EXPECT_EQ(eval.loads()[u], ref[u]);
+}
+
+// --- Pinned-seed local-search bit-identity ---------------------------------
+
+struct GoldenEntry {
+  const char* method;
+  std::size_t tasks;
+  std::size_t machines;
+  std::size_t types;
+  std::uint64_t seed;
+  double period;  // hexfloat-captured, compared bit-exactly
+  std::vector<MachineIndex> assignment;
+};
+
+const std::vector<GoldenEntry>& golden_entries() {
+  static const std::vector<GoldenEntry> entries{
+#include "golden_local_search.inc"
+  };
+  return entries;
+}
+
+TEST(LocalSearchGolden, RefinedMappingsByteIdenticalToPreRefactorCapture) {
+  // The golden table was captured from the pre-refactor local search
+  // (copy-assignment + full core::period per candidate). The incremental
+  // implementation must reproduce every mapping byte for byte and every
+  // period bit for bit, across H1..H4f x three shapes x three seeds.
+  const auto& entries = golden_entries();
+  ASSERT_EQ(entries.size(), 54u);
+  for (const GoldenEntry& entry : entries) {
+    SCOPED_TRACE(std::string(entry.method) + " n=" + std::to_string(entry.tasks) +
+                 " seed=" + std::to_string(entry.seed));
+    exp::Scenario scenario;
+    scenario.tasks = entry.tasks;
+    scenario.machines = entry.machines;
+    scenario.types = entry.types;
+    const core::Problem problem = exp::generate(scenario, entry.seed);
+    support::Rng rng(entry.seed);
+    const auto start = heuristics::heuristic_by_name(entry.method)->run(problem, rng);
+    ASSERT_TRUE(start.has_value());
+    const ext::RefinementResult refined = ext::refine_mapping(problem, *start);
+    EXPECT_EQ(refined.period, entry.period);
+    ASSERT_EQ(refined.mapping.task_count(), entry.assignment.size());
+    for (TaskIndex i = 0; i < entry.assignment.size(); ++i) {
+      EXPECT_EQ(refined.mapping.machine_of(i), entry.assignment[i])
+          << "assignment[" << i << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mf
