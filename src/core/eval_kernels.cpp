@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "core/simd.hpp"
 #include "support/check.hpp"
 
 namespace mf::core {
@@ -19,7 +20,9 @@ EvalWorkspace::EvalWorkspace(const Problem& problem)
       subtree_size_(n_, 0),
       succ_(n_, kNoTask),
       x_(n_, 0.0),
-      loads_(m_, 0.0) {
+      loads_(m_, 0.0),
+      wsel_(n_, 0.0),
+      xw_(n_, 0.0) {
   for (TaskIndex t = 0; t < n_; ++t) succ_[t] = problem.app.successor(t);
   // Predecessor-forest DFS from the sinks: every task's subtree (itself
   // plus its transitive predecessors) occupies a contiguous slice of
@@ -62,16 +65,22 @@ std::span<const double> EvalWorkspace::expected_products(
 std::span<const double> EvalWorkspace::machine_periods(
     std::span<const MachineIndex> assignment) {
   expected_products(assignment);
+  // Split the reference loop `loads[a(i)] += x_i * w_{i,a(i)}` into its
+  // independent-lane half (the per-task products, SIMD) and its
+  // order-defining half (the ascending-i scatter-adds, kept scalar): the
+  // products are the exact same doubles either way, and the adds run in
+  // the exact reference sequence, so every load bit matches.
+  const simd::KernelTable& kernels = simd::active();
+  for (TaskIndex i = 0; i < n_; ++i) wsel_[i] = times_[i * m_ + assignment[i]];
+  kernels.mul(x_.data(), wsel_.data(), n_, xw_.data());
   std::fill(loads_.begin(), loads_.end(), 0.0);
-  for (TaskIndex i = 0; i < n_; ++i) {
-    loads_[assignment[i]] += x_[i] * times_[i * m_ + assignment[i]];
-  }
+  for (TaskIndex i = 0; i < n_; ++i) loads_[assignment[i]] += xw_[i];
   return loads_;
 }
 
 double EvalWorkspace::period(std::span<const MachineIndex> assignment) {
   machine_periods(assignment);
-  return *std::max_element(loads_.begin(), loads_.end());
+  return simd::active().row_max(loads_.data(), loads_.size());
 }
 
 IncrementalEvaluator::IncrementalEvaluator(EvalWorkspace& workspace,
@@ -84,8 +93,13 @@ IncrementalEvaluator::IncrementalEvaluator(EvalWorkspace& workspace,
       xw_(workspace.task_count(), 0.0),
       member_begin_(workspace.machine_count() + 1, 0),
       x_probe_(workspace.task_count(), 0.0),
-      xw_probe_(workspace.task_count(), 0.0) {
+      xw_probe_(workspace.task_count(), 0.0),
+      touched_words_((workspace.machine_count() + 63) / 64, 0),
+      resum_queue_(workspace.machine_count(), 0),
+      probe_loads_(workspace.machine_count(), 0.0),
+      all_machines_(workspace.machine_count(), 0) {
   members_.resize(workspace.task_count());
+  for (MachineIndex u = 0; u < all_machines_.size(); ++u) all_machines_[u] = u;
   reset(assignment);
 }
 
@@ -113,18 +127,13 @@ void IncrementalEvaluator::rebuild() {
     F_cur_[i] = ws_->attempts_row(i)[assignment_[i]];
   }
 
-  // Exact reference recompute: same operand sequence as core::period.
+  // Exact reference recompute of x: the serial multiply chain whose
+  // operand order defines the bit contract — scalar forever.
   const std::span<const TaskIndex> succ = ws_->successors();
   for (TaskIndex i : problem.app.backward_order()) {
     const double downstream = succ[i] == kNoTask ? 1.0 : x_[succ[i]];
     x_[i] = downstream * F_cur_[i];
   }
-  std::fill(loads_.begin(), loads_.end(), 0.0);
-  for (TaskIndex i = 0; i < n; ++i) {
-    loads_[assignment_[i]] += x_[i] * w_cur_[i];
-  }
-  for (TaskIndex i = 0; i < n; ++i) xw_[i] = x_[i] * w_cur_[i];
-  period_ = *std::max_element(loads_.begin(), loads_.end());
 
   // CSR member lists, tasks ascending within each machine (the order the
   // reference accumulation visits them).
@@ -134,6 +143,16 @@ void IncrementalEvaluator::rebuild() {
   for (MachineIndex u = 0; u < m; ++u) member_begin_[u + 1] += member_begin_[u];
   csr_cursor_.assign(member_begin_.begin(), member_begin_.end() - 1);
   for (TaskIndex i = 0; i < n; ++i) members_[csr_cursor_[assignment_[i]]++] = i;
+
+  // Independent-lane work goes through the SIMD table: the fused products
+  // are exact per-element multiplies, each machine load folds its own CSR
+  // list in ascending task order (the reference scatter-add sequence for
+  // that machine), and the period max is order-independent.
+  const simd::KernelTable& kernels = simd::active();
+  kernels.mul(x_.data(), w_cur_.data(), n, xw_.data());
+  kernels.resum_machines(xw_.data(), members_.data(), member_begin_.data(),
+                         all_machines_.data(), m, loads_.data());
+  period_ = kernels.row_max(loads_.data(), m);
 }
 
 void IncrementalEvaluator::probe_subtree_x(TaskIndex root) {
@@ -150,11 +169,12 @@ void IncrementalEvaluator::probe_subtree_x(TaskIndex root) {
   // F_cur_ already holds the candidate values for the moved tasks (probe()
   // stashes overrides around the walks), so the body is compare-free.
   // Alongside x, the walk fuses the x*w product the resum will consume and
-  // records which machines own a recomputed task in touched_machines_
-  // (bit q & 63; aliasing for m > 64 only ever marks extra machines,
-  // never misses one) so the resum can skip the rest.
+  // records which machines own a recomputed task in touched_words_ — one
+  // exact bit per machine. Machines below 64 accumulate in a register (the
+  // branch is always-taken for m <= 64, i.e. free); higher machines take
+  // the read-modify-write, which only exists on m > 64 problems.
   const std::span<const TaskIndex> succ = ws_->successors();
-  std::uint64_t touched = touched_machines_;
+  std::uint64_t touched0 = touched_words_[0];
   TaskIndex prev = ws_->task_count();  // never a valid successor value
   double carry = 0.0;
   for (const TaskIndex t : ws_->subtree(root)) {
@@ -170,10 +190,15 @@ void IncrementalEvaluator::probe_subtree_x(TaskIndex root) {
     carry = downstream * F_cur_[t];
     x_probe_[t] = carry;
     xw_probe_[t] = carry * w_cur_[t];
-    touched |= std::uint64_t{1} << (assignment_[t] & 63);
+    const MachineIndex a = assignment_[t];
+    if (a < 64) [[likely]] {
+      touched0 |= std::uint64_t{1} << a;
+    } else {
+      touched_words_[a >> 6] |= std::uint64_t{1} << (a & 63);
+    }
     prev = t;
   }
-  touched_machines_ = touched;
+  touched_words_[0] = touched0;
 }
 
 double IncrementalEvaluator::probe(std::size_t moved_count) {
@@ -192,7 +217,7 @@ double IncrementalEvaluator::probe(std::size_t moved_count) {
     saved_F[k] = F_cur_[moved_task_[k]];
     F_cur_[moved_task_[k]] = ws_->attempts_row(moved_task_[k])[moved_to_[k]];
   }
-  touched_machines_ = 0;
+  std::fill(touched_words_.begin(), touched_words_.end(), 0);
   if (ws_->is_chain()) {
     // Linear chain (the paper's Section 7 topology): subtree(r) is exactly
     // the task range [0, r], any two subtrees nest, and only the tail
@@ -207,15 +232,20 @@ double IncrementalEvaluator::probe(std::size_t moved_count) {
     // which always lie inside the walked range [0, r].
     std::memcpy(xw_probe_.data() + tail, xw_.data() + tail, (n - tail) * sizeof(double));
     double carry = tail < n ? x_[tail] : 1.0;
-    std::uint64_t touched = 0;
+    std::uint64_t touched0 = 0;
     for (TaskIndex t = r;; --t) {
       carry *= F_cur_[t];
       x_probe_[t] = carry;
       xw_probe_[t] = carry * w_cur_[t];
-      touched |= std::uint64_t{1} << (assignment_[t] & 63);
+      const MachineIndex a = assignment_[t];
+      if (a < 64) [[likely]] {
+        touched0 |= std::uint64_t{1} << a;
+      } else {
+        touched_words_[a >> 6] |= std::uint64_t{1} << (a & 63);
+      }
       if (t == 0) break;
     }
-    touched_machines_ = touched;
+    touched_words_[0] |= touched0;
   } else {
     std::memcpy(x_probe_.data(), x_.data(), n * sizeof(double));
     std::memcpy(xw_probe_.data(), xw_.data(), n * sizeof(double));
@@ -238,43 +268,53 @@ double IncrementalEvaluator::probe(std::size_t moved_count) {
   // so loads_[q] is reused verbatim — that reuse IS bit-identity, since a
   // resum over unchanged operands would reproduce it exactly. The final
   // max is order-independent, so machines are visited by popping mask
-  // bits rather than scanning all m. Every from-machine is in
-  // touched_machines_ already (a moved task is always walked), so only
-  // the to-machines need to be merged into the resum set.
+  // bits word by word rather than scanning all m. Every from-machine is in
+  // touched_words_ already (a moved task is always walked), so only the
+  // to-machines need to be merged into the resum set. The <= 4 machines
+  // with a membership edit take the scalar merge in resum_machine; the
+  // rest — plain member-list refolds — are queued and re-summed through
+  // the SIMD table, several machine sums per instruction, each lane
+  // folding its own list in the reference order.
   const std::size_t m = ws_->machine_count();
+  for (std::size_t k = 0; k < moved_count; ++k) {
+    touched_words_[moved_to_[k] >> 6] |= std::uint64_t{1} << (moved_to_[k] & 63);
+  }
   double best = -1.0;  // loads are non-negative
-  if (m <= 64) {
+  std::size_t queue_count = 0;
+  for (std::size_t w = 0; w < touched_words_.size(); ++w) {
+    const std::size_t base = w << 6;
+    const std::size_t width = std::min<std::size_t>(64, m - base);
     const std::uint64_t all =
-        m == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << m) - std::uint64_t{1};
-    std::uint64_t need = touched_machines_ & all;
-    for (std::size_t k = 0; k < moved_count; ++k) {
-      need |= std::uint64_t{1} << moved_to_[k];
-    }
+        width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - std::uint64_t{1};
+    const std::uint64_t need = touched_words_[w];
     std::uint64_t keep = all & ~need;
     while (keep != 0) {
-      const auto q = static_cast<MachineIndex>(std::countr_zero(keep));
+      const auto q = static_cast<MachineIndex>(base + std::countr_zero(keep));
       keep &= keep - 1;
       if (loads_[q] > best) best = loads_[q];
     }
-    while (need != 0) {
-      const auto q = static_cast<MachineIndex>(std::countr_zero(need));
-      need &= need - 1;
-      const double sum = resum_machine(q, moved_count);
-      if (sum > best) best = sum;
-    }
-  } else {
-    const std::uint64_t touched = touched_machines_;
-    for (MachineIndex q = 0; q < m; ++q) {
+    std::uint64_t pending = need;
+    while (pending != 0) {
+      const auto q = static_cast<MachineIndex>(base + std::countr_zero(pending));
+      pending &= pending - 1;
       bool involved = false;
       for (std::size_t k = 0; k < moved_count; ++k) {
         involved |= assignment_[moved_task_[k]] == q || moved_to_[k] == q;
       }
-      double sum;
-      if (!involved && ((touched >> (q & 63)) & 1) == 0) {
-        sum = loads_[q];
+      if (involved) {
+        const double sum = resum_machine(q, moved_count);
+        if (sum > best) best = sum;
       } else {
-        sum = resum_machine(q, moved_count);
+        resum_queue_[queue_count++] = q;
       }
+    }
+  }
+  if (queue_count > 0) {
+    const simd::KernelTable& kernels = simd::active();
+    kernels.resum_machines(xw_probe_.data(), members_.data(), member_begin_.data(),
+                           resum_queue_.data(), queue_count, probe_loads_.data());
+    for (std::size_t c = 0; c < queue_count; ++c) {
+      const double sum = probe_loads_[resum_queue_[c]];
       if (sum > best) best = sum;
     }
   }
@@ -286,14 +326,18 @@ double IncrementalEvaluator::resum_machine(MachineIndex q, std::size_t moved_cou
   // the operand order core::machine_periods uses — with the accumulator
   // in a register. Regular members contribute their fused xw_probe_
   // product (the identical multiply the reference performs); only the
-  // machines a moved task leaves or joins need membership edits.
+  // machines a moved task leaves or joins need membership edits. probe()
+  // routes uninvolved machines through the batched SIMD resum instead, so
+  // this scalar path now runs only for the <= 4 involved machines (and
+  // keeps the uninvolved branch as the readable reference of what the
+  // batched kernel computes).
   bool involved = false;
   for (std::size_t k = 0; k < moved_count; ++k) {
     involved |= assignment_[moved_task_[k]] == q || moved_to_[k] == q;
   }
   double sum = 0.0;
   const std::size_t end = member_begin_[q + 1];
-  if (!involved) [[likely]] {
+  if (!involved) {
     for (std::size_t idx = member_begin_[q]; idx < end; ++idx) {
       sum += xw_probe_[members_[idx]];
     }

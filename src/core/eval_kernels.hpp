@@ -114,6 +114,8 @@ class EvalWorkspace {
   // Reusable evaluation buffers.
   std::vector<double> x_;      // n
   std::vector<double> loads_;  // m
+  std::vector<double> wsel_;   // n: gathered w_{i, a(i)} for the last call
+  std::vector<double> xw_;     // n: fused x * w products
 };
 
 /// Incremental move evaluation for local search: O(|ancestors| + touched
@@ -186,13 +188,23 @@ class IncrementalEvaluator {
 
   // Per-probe scratch (no allocation per probe): x_probe_/xw_probe_ start
   // as copies of x_/xw_ and get the affected subtrees overwritten;
-  // touched_machines_ marks (mod-64, conservatively for m > 64) the
-  // machines owning a recomputed task, so the probe resums only those.
-  std::vector<double> x_probe_;   // n
-  std::vector<double> xw_probe_;  // n
-  std::uint64_t touched_machines_ = 0;
+  // touched_words_ is a ceil(m/64)-word bitmask marking EXACTLY the
+  // machines owning a recomputed task (one bit per machine, however large
+  // m is), so the probe resums only the truly touched ones.
+  std::vector<double> x_probe_;               // n
+  std::vector<double> xw_probe_;              // n
+  std::vector<std::uint64_t> touched_words_;  // ceil(m/64)
   TaskIndex moved_task_[2] = {kNoTask, kNoTask};
   MachineIndex moved_to_[2] = {kUnassigned, kUnassigned};
+
+  // Batched-resum scratch: uninvolved touched machines are queued here and
+  // re-summed through the SIMD kernel table (several machines per
+  // instruction), results landing in probe_loads_. Machines with a
+  // membership edit (a moved task left or joined) take the scalar merge
+  // path in resum_machine.
+  std::vector<MachineIndex> resum_queue_;  // m
+  std::vector<double> probe_loads_;        // m
+  std::vector<MachineIndex> all_machines_; // m: identity queue for rebuild
 };
 
 }  // namespace mf::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/failure.hpp"
+#include "core/simd.hpp"
 #include "support/check.hpp"
 
 namespace mf::core {
@@ -57,15 +58,16 @@ std::vector<MachineIndex> critical_machines(const Problem& problem, const Mappin
 
 std::vector<double> max_expected_products(const Problem& problem) {
   const Application& app = problem.app;
+  const simd::KernelTable& kernels = simd::active();
   std::vector<double> max_x(app.task_count(), 0.0);
   for (TaskIndex i : app.backward_order()) {
     const TaskIndex succ = app.successor(i);
     const double downstream = succ == kNoTask ? 1.0 : max_x[succ];
-    // Column max over the failure row via the unchecked span view.
-    double worst_f = 0.0;
-    for (const double f : problem.platform.failure_row(i)) {
-      worst_f = std::max(worst_f, f);
-    }
+    // Column max over the failure row via the unchecked span view. Max is
+    // exact in any fold order, so folding the row wide and the 0.0 floor
+    // last matches the scalar left fold bit for bit.
+    const auto row = problem.platform.failure_row(i);
+    const double worst_f = std::max(0.0, kernels.row_max(row.data(), row.size()));
     max_x[i] = downstream * survival_inverse(worst_f);
   }
   return max_x;
@@ -73,12 +75,11 @@ std::vector<double> max_expected_products(const Problem& problem) {
 
 double period_upper_bound(const Problem& problem) {
   const std::vector<double> max_x = max_expected_products(problem);
+  const simd::KernelTable& kernels = simd::active();
   double bound = 0.0;
   for (TaskIndex i = 0; i < problem.task_count(); ++i) {
-    double slowest = 0.0;
-    for (const double w : problem.platform.time_row(i)) {
-      slowest = std::max(slowest, w);
-    }
+    const auto row = problem.platform.time_row(i);
+    const double slowest = std::max(0.0, kernels.row_max(row.data(), row.size()));
     bound += max_x[i] * slowest;
   }
   return bound;

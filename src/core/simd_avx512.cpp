@@ -1,0 +1,86 @@
+// AVX-512 variant of the SIMD kernel table (8 double lanes, predicate
+// mask registers, insert-style gathers). Compiled with -mavx512f -mavx512dq
+// -mavx512vl on this TU only (see CMakeLists); dispatch requires all three
+// CPUID bits before offering it. -ffp-contract=off on the TU keeps the compiler
+// from contracting the two-rounding multiply+add sequences the scalar
+// table defines.
+#include "core/simd_internal.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__) && !defined(MF_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+struct VAvx512 {
+  static constexpr std::size_t W = 8;
+  using reg = __m512d;
+  using mask = __mmask8;
+  static reg load(const double* p) { return _mm512_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm512_storeu_pd(p, v); }
+  static reg broadcast(double v) { return _mm512_set1_pd(v); }
+  static reg zero() { return _mm512_setzero_pd(); }
+  static reg add(reg a, reg b) { return _mm512_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm512_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm512_mul_pd(a, b); }
+  static reg min(reg a, reg b) { return _mm512_min_pd(a, b); }
+  static reg max(reg a, reg b) { return _mm512_max_pd(a, b); }
+  static mask lt(reg a, reg b) { return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ); }
+  static mask le(reg a, reg b) { return _mm512_cmp_pd_mask(a, b, _CMP_LE_OQ); }
+  static mask eq(reg a, reg b) { return _mm512_cmp_pd_mask(a, b, _CMP_EQ_OQ); }
+  static mask mask_and(mask a, mask b) { return static_cast<mask>(a & b); }
+  static reg blend(mask m, reg if_true, reg if_false) {
+    return _mm512_mask_blend_pd(m, if_false, if_true);
+  }
+  static unsigned to_bits(mask m) { return static_cast<unsigned>(m); }
+  static double reduce_min(reg v) { return _mm512_reduce_min_pd(v); }
+  static double reduce_max(reg v) { return _mm512_reduce_max_pd(v); }
+  // Insert-style gather, built as two 256-bit halves then joined.
+  // Hardware vgatherqpd is dramatically slower on microcode-mitigated
+  // parts (Downfall) and never faster here.
+  template <typename Idx>
+  static reg gather_lanes(const double* base, const Idx* const* lanes, std::size_t k) {
+    const __m256d lo = _mm256_set_pd(base[lanes[3][k]], base[lanes[2][k]],
+                                     base[lanes[1][k]], base[lanes[0][k]]);
+    const __m256d hi = _mm256_set_pd(base[lanes[7][k]], base[lanes[6][k]],
+                                     base[lanes[5][k]], base[lanes[4][k]]);
+    return _mm512_insertf64x4(_mm512_castpd256_pd512(lo), hi, 1);
+  }
+};
+
+/// resum_machines is BORROWED from the AVX2 table rather than
+/// instantiated here. The gather resum is bound by lane-pointer register
+/// pressure and the two-loads-per-member floor, not vector width: the
+/// 8-lane grouping spills its lane pointers, and even the identical
+/// 4-lane source compiled in this EVEX TU measures ~10% slower than the
+/// AVX2 TU's VEX build on the gated stress shape. AVX-512 implies AVX2 at
+/// runtime, AVX2 is bit-identical to scalar by the same lane argument,
+/// and the table slot is just a function pointer — so point it at the
+/// proven fastest kernel.
+void resum_machines_borrowed(const double* xw, const mf::core::TaskIndex* members,
+                             const std::size_t* begin, const mf::core::MachineIndex* queue,
+                             std::size_t queue_count, double* loads) {
+  mf::core::simd::detail::avx2_table()->resum_machines(xw, members, begin, queue,
+                                                       queue_count, loads);
+}
+
+}  // namespace
+
+#define MF_SIMD_V VAvx512
+#define MF_SIMD_RESUM_FN &resum_machines_borrowed
+#define MF_SIMD_ISA Isa::kAvx512
+#define MF_SIMD_ACCESSOR avx512_table
+#include "core/simd_lanes.inc"
+
+#else
+
+namespace mf::core::simd::detail {
+const KernelTable* avx512_table() noexcept { return nullptr; }
+}  // namespace mf::core::simd::detail
+
+#endif

@@ -1,0 +1,73 @@
+// NEON variant of the SIMD kernel table (2 double lanes). Advanced SIMD
+// with double lanes is the aarch64 architectural baseline, so no extra
+// compile flags are needed; the TU compiles to the nullptr stub on every
+// other architecture.
+#include "core/simd_internal.hpp"
+
+#if defined(__aarch64__) && !defined(MF_DISABLE_SIMD)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+struct VNeon {
+  static constexpr std::size_t W = 2;
+  using reg = float64x2_t;
+  using mask = uint64x2_t;
+  static reg load(const double* p) { return vld1q_f64(p); }
+  static void store(double* p, reg v) { vst1q_f64(p, v); }
+  static reg broadcast(double v) { return vdupq_n_f64(v); }
+  static reg zero() { return vdupq_n_f64(0.0); }
+  static reg add(reg a, reg b) { return vaddq_f64(a, b); }
+  static reg sub(reg a, reg b) { return vsubq_f64(a, b); }
+  static reg mul(reg a, reg b) { return vmulq_f64(a, b); }
+  static reg min(reg a, reg b) { return vminq_f64(a, b); }
+  static reg max(reg a, reg b) { return vmaxq_f64(a, b); }
+  static mask lt(reg a, reg b) { return vcltq_f64(a, b); }
+  static mask le(reg a, reg b) { return vcleq_f64(a, b); }
+  static mask eq(reg a, reg b) { return vceqq_f64(a, b); }
+  static mask mask_and(mask a, mask b) { return vandq_u64(a, b); }
+  static reg blend(mask m, reg if_true, reg if_false) {
+    return vbslq_f64(m, if_true, if_false);
+  }
+  static unsigned to_bits(mask m) {
+    return static_cast<unsigned>(vgetq_lane_u64(m, 0) & 1) |
+           (static_cast<unsigned>(vgetq_lane_u64(m, 1) & 1) << 1);
+  }
+  static double reduce_min(reg v) {
+    const double a = vgetq_lane_f64(v, 0);
+    const double b = vgetq_lane_f64(v, 1);
+    return b < a ? b : a;
+  }
+  static double reduce_max(reg v) {
+    const double a = vgetq_lane_f64(v, 0);
+    const double b = vgetq_lane_f64(v, 1);
+    return a < b ? b : a;
+  }
+  template <typename Idx>
+  static reg gather_lanes(const double* base, const Idx* const* lanes, std::size_t k) {
+    const float64x1_t lo = vld1_f64(base + lanes[0][k]);
+    const float64x1_t hi = vld1_f64(base + lanes[1][k]);
+    return vcombine_f64(lo, hi);
+  }
+};
+
+}  // namespace
+
+#define MF_SIMD_V VNeon
+#define MF_SIMD_ISA Isa::kNeon
+#define MF_SIMD_ACCESSOR neon_table
+#include "core/simd_lanes.inc"
+
+#else
+
+namespace mf::core::simd::detail {
+const KernelTable* neon_table() noexcept { return nullptr; }
+}  // namespace mf::core::simd::detail
+
+#endif

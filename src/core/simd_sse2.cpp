@@ -1,0 +1,69 @@
+// SSE2 variant of the SIMD kernel table (2 double lanes). SSE2 is the
+// x86-64 architectural baseline, so this TU needs no extra compile flags;
+// it exists so the dispatch ladder has a narrow rung to fall back to on
+// pre-AVX2 hosts, and so the equivalence suite always has at least one
+// wide variant to exercise on any x86 machine.
+#include "core/simd_internal.hpp"
+
+#if defined(__SSE2__) && !defined(MF_DISABLE_SIMD)
+
+#include <emmintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+struct VSse2 {
+  static constexpr std::size_t W = 2;
+  using reg = __m128d;
+  using mask = __m128d;  // all-ones / all-zeros lanes from the compares
+  static reg load(const double* p) { return _mm_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm_storeu_pd(p, v); }
+  static reg broadcast(double v) { return _mm_set1_pd(v); }
+  static reg zero() { return _mm_setzero_pd(); }
+  static reg add(reg a, reg b) { return _mm_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm_mul_pd(a, b); }
+  static reg min(reg a, reg b) { return _mm_min_pd(a, b); }
+  static reg max(reg a, reg b) { return _mm_max_pd(a, b); }
+  static mask lt(reg a, reg b) { return _mm_cmplt_pd(a, b); }
+  static mask le(reg a, reg b) { return _mm_cmple_pd(a, b); }
+  static mask eq(reg a, reg b) { return _mm_cmpeq_pd(a, b); }
+  static mask mask_and(mask a, mask b) { return _mm_and_pd(a, b); }
+  static reg blend(mask m, reg if_true, reg if_false) {
+    // SSE2 predates blendv: select via the classic and/andnot merge.
+    return _mm_or_pd(_mm_and_pd(m, if_true), _mm_andnot_pd(m, if_false));
+  }
+  static unsigned to_bits(mask m) { return static_cast<unsigned>(_mm_movemask_pd(m)); }
+  static double reduce_min(reg v) {
+    return _mm_cvtsd_f64(_mm_min_sd(v, _mm_unpackhi_pd(v, v)));
+  }
+  static double reduce_max(reg v) {
+    return _mm_cvtsd_f64(_mm_max_sd(v, _mm_unpackhi_pd(v, v)));
+  }
+  // Insert-style gather: lane scalars merged with shuffles. Hardware
+  // gathers are dramatically slower on microcode-mitigated parts
+  // (Downfall) and never faster for these short access streams.
+  template <typename Idx>
+  static reg gather_lanes(const double* base, const Idx* const* lanes, std::size_t k) {
+    return _mm_set_pd(base[lanes[1][k]], base[lanes[0][k]]);
+  }
+};
+
+}  // namespace
+
+#define MF_SIMD_V VSse2
+#define MF_SIMD_ISA Isa::kSse2
+#define MF_SIMD_ACCESSOR sse2_table
+#include "core/simd_lanes.inc"
+
+#else
+
+namespace mf::core::simd::detail {
+const KernelTable* sse2_table() noexcept { return nullptr; }
+}  // namespace mf::core::simd::detail
+
+#endif

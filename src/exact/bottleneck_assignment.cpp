@@ -1,10 +1,13 @@
 #include "exact/bottleneck_assignment.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/simd.hpp"
 #include "exact/hopcroft_karp.hpp"
 #include "support/check.hpp"
 
@@ -14,13 +17,24 @@ namespace {
 
 /// Perfect matching on rows using only edges with cost <= threshold?
 MatchingResult probe(const support::Matrix& cost, double threshold) {
+  const core::simd::KernelTable& kernels = core::simd::active();
   BipartiteGraph graph(cost.rows(), cost.cols());
+  std::vector<std::uint64_t> words((cost.cols() + 63) / 64, 0);
   for (std::size_t r = 0; r < cost.rows(); ++r) {
-    // Each binary-search step rescans the whole matrix; use the unchecked
-    // row view instead of per-edge bounds checks.
+    // Each binary-search step rescans the whole matrix: compare the row
+    // wide into a bitmask, then walk the set bits. Bit order is column
+    // order, so edges enter the adjacency lists in exactly the sequence
+    // the scalar scan produced — the matching is identical, not merely
+    // equivalent.
     const std::span<const double> row = cost.row_data(r);
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      if (row[c] <= threshold) graph.add_edge(r, c);
+    kernels.leq_mask(row.data(), threshold, row.size(), words.data());
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      std::uint64_t bits = words[w];
+      while (bits != 0) {
+        const std::size_t c = (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        graph.add_edge(r, c);
+      }
     }
   }
   return maximum_matching(graph);

@@ -1,83 +1,124 @@
 #include "exact/hungarian.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <span>
 
+#include "core/simd.hpp"
 #include "support/check.hpp"
 
 namespace mf::exact {
 
-AssignmentResult solve_assignment(const support::Matrix& cost) {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Reusable scratch for the shortest-augmenting-path solver. All arrays
+/// are 1-based (index 0 is the classical sentinel column/row). `used`
+/// holds exactly 0.0 or 1.0 per column so the SIMD row scan can test
+/// used-ness with a plain double compare; `way` is 32-bit so the scan can
+/// store back-pointers lane-wise. prepare() reuses capacity, so repeated
+/// solves of same-or-smaller shapes never touch the heap.
+struct HungarianWorkspace {
+  std::vector<double> u;                 // n + 1 row potentials
+  std::vector<double> v;                 // m + 1 column potentials
+  std::vector<double> min_v;             // m + 1 best reduced cost per column
+  std::vector<double> used;              // m + 1, 0.0 / 1.0 flags
+  std::vector<std::uint32_t> way;        // m + 1 augmenting-path back-pointers
+  std::vector<std::size_t> match;        // m + 1, match[c] = row on column c
+  std::vector<std::size_t> used_cols;    // columns marked used, in mark order
+
+  void prepare(std::size_t n, std::size_t m) {
+    u.assign(n + 1, 0.0);
+    v.assign(m + 1, 0.0);
+    match.assign(m + 1, 0);
+    way.assign(m + 1, 0);
+    min_v.resize(m + 1);
+    used.resize(m + 1);
+    used_cols.reserve(m + 1);
+  }
+};
+
+HungarianWorkspace& workspace() {
+  thread_local HungarianWorkspace ws;
+  return ws;
+}
+
+}  // namespace
+
+double solve_assignment_into(const support::Matrix& cost,
+                             std::span<std::size_t> row_to_col) {
   const std::size_t n = cost.rows();
   const std::size_t m = cost.cols();
   MF_REQUIRE(n >= 1, "assignment needs at least one row");
   MF_REQUIRE(n <= m, "assignment requires rows <= cols");
+  MF_REQUIRE(row_to_col.size() == n, "row_to_col size mismatch");
   for (std::size_t r = 0; r < n; ++r) {
     for (std::size_t c = 0; c < m; ++c) {
       MF_REQUIRE(std::isfinite(cost.at(r, c)), "assignment costs must be finite");
     }
   }
 
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  // 1-based arrays as in the classical formulation; index 0 is a sentinel.
-  std::vector<double> u(n + 1, 0.0);   // row potentials
-  std::vector<double> v(m + 1, 0.0);   // column potentials
-  std::vector<std::size_t> match(m + 1, 0);  // match[c] = row matched to column c
-  std::vector<std::size_t> way(m + 1, 0);    // augmenting-path back-pointers
+  const core::simd::KernelTable& kernels = core::simd::active();
+  HungarianWorkspace& ws = workspace();
+  ws.prepare(n, m);
 
   for (std::size_t r = 1; r <= n; ++r) {
-    match[0] = r;
+    ws.match[0] = r;
     std::size_t j0 = 0;  // current column on the alternating path
-    std::vector<double> min_v(m + 1, kInf);
-    std::vector<bool> used(m + 1, false);
+    std::fill(ws.min_v.begin(), ws.min_v.end(), kInf);
+    std::fill(ws.used.begin(), ws.used.end(), 0.0);
+    ws.used_cols.clear();
     do {
-      used[j0] = true;
-      const std::size_t i0 = match[j0];
+      ws.used[j0] = 1.0;
+      ws.used_cols.push_back(j0);
+      const std::size_t i0 = ws.match[j0];
       // Row reduction over the unchecked span view: this is the O(n·m²)
-      // inner loop of the whole algorithm.
+      // inner loop of the whole algorithm, dispatched through the SIMD
+      // table (lanes are columns; reduced costs, the min_v updates and
+      // the running delta min are all per-column independent, and the
+      // argmin replays the reference first-index tie rule).
       const std::span<const double> cost_row = cost.row_data(i0 - 1);
-      double delta = kInf;
-      std::size_t j1 = 0;
-      for (std::size_t j = 1; j <= m; ++j) {
-        if (used[j]) continue;
-        const double reduced = cost_row[j - 1] - u[i0] - v[j];
-        if (reduced < min_v[j]) {
-          min_v[j] = reduced;
-          way[j] = j0;
-        }
-        if (min_v[j] < delta) {
-          delta = min_v[j];
-          j1 = j;
-        }
-      }
-      MF_CHECK(delta < kInf, "no augmenting path found");
-      for (std::size_t j = 0; j <= m; ++j) {
-        if (used[j]) {
-          u[match[j]] += delta;
-          v[j] -= delta;
-        } else {
-          min_v[j] -= delta;
-        }
-      }
-      j0 = j1;
-    } while (match[j0] != 0);
+      const core::simd::RowScanResult scan = kernels.hungarian_row_scan(
+          cost_row.data(), ws.u[i0], ws.v.data() + 1, ws.used.data() + 1,
+          ws.min_v.data() + 1, ws.way.data() + 1, static_cast<std::uint32_t>(j0), m);
+      MF_CHECK(scan.argmin != core::simd::RowScanResult::kNoColumn,
+               "no augmenting path found");
+      const double delta = scan.delta;
+      // Dual update. The used columns' matched rows are pairwise distinct
+      // (a matching), so the u increments commute — walking the used list
+      // gives the same doubles as the reference ascending-j sweep. The
+      // sentinel column 0 is always used: its v update stays scalar, its
+      // min_v is never touched (exactly like the reference).
+      for (const std::size_t jc : ws.used_cols) ws.u[ws.match[jc]] += delta;
+      ws.v[0] -= delta;
+      kernels.hungarian_apply_delta(ws.v.data() + 1, ws.min_v.data() + 1,
+                                    ws.used.data() + 1, delta, m);
+      j0 = scan.argmin + 1;
+    } while (ws.match[j0] != 0);
     // Unwind the alternating path.
     do {
-      const std::size_t j1 = way[j0];
-      match[j0] = match[j1];
+      const std::size_t j1 = ws.way[j0];
+      ws.match[j0] = ws.match[j1];
       j0 = j1;
     } while (j0 != 0);
   }
 
-  AssignmentResult result;
-  result.row_to_col.assign(n, 0);
   for (std::size_t j = 1; j <= m; ++j) {
-    if (match[j] != 0) result.row_to_col[match[j] - 1] = j - 1;
+    if (ws.match[j] != 0) row_to_col[ws.match[j] - 1] = j - 1;
   }
+  double total_cost = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
-    result.total_cost += cost.at(r, result.row_to_col[r]);
+    total_cost += cost.at(r, row_to_col[r]);
   }
+  return total_cost;
+}
+
+AssignmentResult solve_assignment(const support::Matrix& cost) {
+  AssignmentResult result;
+  result.row_to_col.assign(cost.rows(), 0);
+  result.total_cost = solve_assignment_into(cost, result.row_to_col);
   return result;
 }
 

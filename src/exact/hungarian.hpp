@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "support/matrix.hpp"
@@ -26,5 +27,12 @@ struct AssignmentResult {
 /// Requires cost.rows() >= 1 and cost.rows() <= cost.cols(); all costs must
 /// be finite.
 [[nodiscard]] AssignmentResult solve_assignment(const support::Matrix& cost);
+
+/// Allocation-free variant for hot callers: writes the matching into
+/// `row_to_col` (size cost.rows()) and returns the total cost. The solver
+/// scratch lives in a reusable thread-local workspace, so repeated calls
+/// with same-or-smaller shapes perform no heap allocations at all.
+double solve_assignment_into(const support::Matrix& cost,
+                             std::span<std::size_t> row_to_col);
 
 }  // namespace mf::exact
