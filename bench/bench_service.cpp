@@ -2,27 +2,50 @@
 // driven by N concurrent client connections over real TCP, emitting
 // BENCH_service.json for the CI perf trajectory.
 //
-// The workload is the serving steady state: every connection replays
-// requests drawn round-robin from K distinct solve identities against a
-// warm daemon — so after the warmup pass the daemon must answer purely
-// from its shared cache, and `solved` staying at K (one solve per distinct
-// identity, ever) is asserted, not just reported. What the timings then
-// measure is the serving overhead itself: framing, parsing, admission,
-// cache lookup, response serialization, and the TCP round-trip.
+// Two measurements live here:
+//
+//   1. Throughput (always): every connection replays requests drawn
+//      round-robin from K distinct solve identities against a warm daemon
+//      — so after the warmup pass the daemon must answer purely from its
+//      shared cache, and `solved` staying at K (one solve per distinct
+//      identity, ever) is asserted, not just reported. What the timings
+//      then measure is the serving overhead itself: framing, parsing,
+//      admission, cache lookup, response serialization, and the TCP
+//      round-trip.
+//
+//   2. Connection scaling (--idle N > 0): the epoll backend's reason to
+//      exist. One active client measures cache-hit serving while N idle
+//      connections sit open, under BOTH backends. The thread-per-
+//      connection backend burns a thread per idle socket; the reactor
+//      holds them for a few hundred bytes each. Gated, not just recorded:
+//      the epoll daemon's thread count must stay O(solver pool), its
+//      active throughput must not fall meaningfully below the threads
+//      backend's, and the threads backend must demonstrably have paid a
+//      thread per idle connection (the contrast that makes the first two
+//      gates mean something).
 //
 //   bench_service [--connections N] [--requests R] [--distinct K]
-//                 [--out BENCH_service.json]
+//                 [--idle N] [--idle-requests R] [--out BENCH_service.json]
 //
 // Deliberately free of the google-benchmark dependency, like the other
 // plain harnesses: the quantity under test (sustained req/s and tail
 // latency across live connections) needs a daemon and threads, not an
 // iteration framework.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +65,167 @@ double quantile(const std::vector<double>& sorted, double q) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+/// Current thread count of this process (daemon threads included — the
+/// daemon is in-process, which is exactly why the gauge works).
+int process_threads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + std::strlen("Threads:"));
+    }
+  }
+  return -1;
+}
+
+/// Raises RLIMIT_NOFILE toward what `idle` connections need (2 fds each —
+/// one per side, daemon in-process — plus slack). Returns the idle count
+/// that actually fits; a scale-down is reported loudly, never silent.
+std::size_t fit_idle_to_fd_limit(std::size_t idle) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return idle;
+  const rlim_t want = static_cast<rlim_t>(idle) * 2 + 128;
+  if (limit.rlim_cur < want) {
+    rlimit raised = limit;
+    raised.rlim_cur = std::min(want, limit.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) limit = raised;
+  }
+  if (limit.rlim_cur < want) {
+    const std::size_t fits = (static_cast<std::size_t>(limit.rlim_cur) - 128) / 2;
+    std::fprintf(stderr,
+                 "warning: RLIMIT_NOFILE %llu cannot hold %zu idle connections; "
+                 "scaling down to %zu\n",
+                 static_cast<unsigned long long>(limit.rlim_cur), idle, fits);
+    return fits;
+  }
+  return idle;
+}
+
+std::vector<mf::serve::WireRequest> make_identities(
+    const std::shared_ptr<const mf::core::Problem>& problem, std::size_t distinct) {
+  std::vector<mf::serve::WireRequest> identities;
+  identities.reserve(distinct);
+  for (std::size_t k = 0; k < distinct; ++k) {
+    mf::serve::WireRequest wire;
+    wire.client_id = "bench";
+    wire.request.problem = problem;
+    wire.request.solver_id = "H1";
+    wire.request.params.seed = 1000 + k;
+    wire.request.params.cache = mf::solve::CachePolicy::kReadWrite;
+    identities.push_back(std::move(wire));
+  }
+  return identities;
+}
+
+/// Warms every identity through one connection; exits loudly on failure.
+void warm_daemon(const mf::serve::Daemon& daemon,
+                 const std::vector<mf::serve::WireRequest>& identities) {
+  mf::serve::Client warmer("127.0.0.1", daemon.port());
+  for (const mf::serve::WireRequest& wire : identities) {
+    const mf::serve::Client::Outcome outcome = warmer.solve(wire);
+    if (!outcome.ok) {
+      std::fprintf(stderr, "error: warmup solve failed: %s: %s\n",
+                   outcome.error_code.c_str(), outcome.detail.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+/// A connected socket that says nothing — the scaling workload's ballast.
+int open_idle_connection(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct ScalingSample {
+  std::size_t idle = 0;
+  int threads_delta = 0;  ///< process threads during the run minus baseline
+  double req_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// One backend's scaling run: daemon up, `idle` silent connections open and
+/// accepted, then one active client measures `requests` cache-hit solves.
+ScalingSample run_scaling(mf::serve::ServeBackend backend, std::size_t idle,
+                          std::size_t requests, std::size_t pool_threads,
+                          const std::vector<mf::serve::WireRequest>& identities) {
+  const int baseline_threads = process_threads();
+
+  mf::solve::ResultCache cache(4096);
+  mf::serve::DaemonOptions options;
+  options.cache = &cache;
+  options.backend = backend;
+  options.threads = pool_threads;
+  mf::serve::Daemon daemon(options);
+  daemon.start();
+  warm_daemon(daemon, identities);
+
+  std::vector<int> ballast;
+  ballast.reserve(idle);
+  for (std::size_t i = 0; i < idle; ++i) {
+    const int fd = open_idle_connection(daemon.port());
+    if (fd < 0) {
+      std::fprintf(stderr, "error: idle connection %zu failed: %s\n", i,
+                   std::strerror(errno));
+      std::exit(1);
+    }
+    ballast.push_back(fd);
+  }
+  // The gauge below must count *accepted* connections, not a backlog.
+  while (daemon.stats_snapshot().connections_active < idle) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ScalingSample sample;
+  sample.idle = idle;
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  {
+    mf::serve::Client client("127.0.0.1", daemon.port());
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < requests; ++r) {
+      const auto sent = std::chrono::steady_clock::now();
+      const mf::serve::Client::Outcome outcome =
+          client.solve(identities[r % identities.size()]);
+      if (!outcome.ok) {
+        std::fprintf(stderr, "error: scaling solve failed (%s): %s: %s\n",
+                     mf::serve::to_string(backend).c_str(), outcome.error_code.c_str(),
+                     outcome.detail.c_str());
+        std::exit(1);
+      }
+      latencies.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - sent)
+                              .count());
+    }
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    sample.req_per_s =
+        wall_ms > 0.0 ? 1000.0 * static_cast<double>(requests) / wall_ms : 0.0;
+    // Sampled mid-run, with every idle connection live: this is the number
+    // the backends disagree about.
+    sample.threads_delta = process_threads() - baseline_threads;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  sample.p50_ms = quantile(latencies, 0.50);
+  sample.p99_ms = quantile(latencies, 0.99);
+
+  for (const int fd : ballast) ::close(fd);
+  daemon.drain();
+  daemon.wait();
+  return sample;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,6 +236,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("requests", 200)));
   const auto distinct =
       static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("distinct", 16)));
+  const auto idle_requested =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("idle", 0)));
+  const auto idle_requests = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.get_int("idle-requests", 500)));
   const std::string out_path = args.get("out", "BENCH_service.json");
 
   mf::solve::ResultCache cache(4096);
@@ -68,31 +256,12 @@ int main(int argc, char** argv) {
   scenario.types = 2;
   const auto problem =
       std::make_shared<const mf::core::Problem>(mf::exp::generate(scenario, 7));
-  std::vector<mf::serve::WireRequest> identities;
-  identities.reserve(distinct);
-  for (std::size_t k = 0; k < distinct; ++k) {
-    mf::serve::WireRequest wire;
-    wire.client_id = "bench";
-    wire.request.problem = problem;
-    wire.request.solver_id = "H1";
-    wire.request.params.seed = 1000 + k;
-    wire.request.params.cache = mf::solve::CachePolicy::kReadWrite;
-    identities.push_back(std::move(wire));
-  }
+  const std::vector<mf::serve::WireRequest> identities =
+      make_identities(problem, distinct);
 
   // Warmup: solve each identity once; everything after this is cache-hit
   // serving, which is the steady state under measurement.
-  {
-    mf::serve::Client warmer("127.0.0.1", daemon.port());
-    for (const mf::serve::WireRequest& wire : identities) {
-      const mf::serve::Client::Outcome outcome = warmer.solve(wire);
-      if (!outcome.ok) {
-        std::fprintf(stderr, "error: warmup solve failed: %s: %s\n",
-                     outcome.error_code.c_str(), outcome.detail.c_str());
-        return 1;
-      }
-    }
-  }
+  warm_daemon(daemon, identities);
 
   std::vector<std::vector<double>> latencies(connections);
   std::vector<std::thread> threads;
@@ -143,40 +312,119 @@ int main(int argc, char** argv) {
   const double total_requests = static_cast<double>(all.size());
   const double req_per_s = wall_ms > 0.0 ? 1000.0 * total_requests / wall_ms : 0.0;
 
-  char json[1024];
-  std::snprintf(json, sizeof json,
-                "{\n"
-                "  \"bench\": \"service\",\n"
-                "  \"connections\": %zu,\n"
-                "  \"requests\": %zu,\n"
-                "  \"distinct\": %zu,\n"
-                "  \"wall_ms\": %.3f,\n"
-                "  \"req_per_s\": %.1f,\n"
-                "  \"p50_ms\": %.4f,\n"
-                "  \"p99_ms\": %.4f,\n"
-                "  \"solved\": %llu,\n"
-                "  \"cache_hits\": %llu,\n"
-                "  \"dedup_joined\": %llu,\n"
-                "  \"daemon_p50_ms\": %.4f,\n"
-                "  \"daemon_p99_ms\": %.4f\n"
-                "}\n",
-                connections, static_cast<std::size_t>(total_requests), distinct, wall_ms,
-                req_per_s, quantile(all, 0.50), quantile(all, 0.99),
-                static_cast<unsigned long long>(stats.service.solved),
-                static_cast<unsigned long long>(stats.service.cache_hits),
-                static_cast<unsigned long long>(stats.service.dedup_joined),
-                stats.latency_p50_ms, stats.latency_p99_ms);
+  // The scaling comparison (opt-in): pool width pinned so the epoll gate
+  // "threads stay O(pool)" has a fixed yardstick.
+  constexpr std::size_t kScalingPool = 4;
+  const std::size_t idle =
+      idle_requested > 0 ? fit_idle_to_fd_limit(idle_requested) : 0;
+  ScalingSample epoll_sample;
+  ScalingSample threads_sample;
+  if (idle > 0) {
+    epoll_sample = run_scaling(mf::serve::ServeBackend::kEpoll, idle, idle_requests,
+                               kScalingPool, identities);
+    threads_sample = run_scaling(mf::serve::ServeBackend::kThreads, idle, idle_requests,
+                                 kScalingPool, identities);
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"service\",\n"
+       << "  \"connections\": " << connections << ",\n"
+       << "  \"requests\": " << static_cast<std::size_t>(total_requests) << ",\n"
+       << "  \"distinct\": " << distinct << ",\n";
+  {
+    char numbers[512];
+    std::snprintf(numbers, sizeof numbers,
+                  "  \"wall_ms\": %.3f,\n"
+                  "  \"req_per_s\": %.1f,\n"
+                  "  \"p50_ms\": %.4f,\n"
+                  "  \"p99_ms\": %.4f,\n",
+                  wall_ms, req_per_s, quantile(all, 0.50), quantile(all, 0.99));
+    json << numbers;
+  }
+  json << "  \"solved\": " << stats.service.solved << ",\n"
+       << "  \"cache_hits\": " << stats.service.cache_hits << ",\n"
+       << "  \"dedup_joined\": " << stats.service.dedup_joined << ",\n";
+  {
+    char numbers[256];
+    std::snprintf(numbers, sizeof numbers,
+                  "  \"daemon_p50_ms\": %.4f,\n"
+                  "  \"daemon_p99_ms\": %.4f",
+                  stats.latency_p50_ms, stats.latency_p99_ms);
+    json << numbers;
+  }
+  if (idle > 0) {
+    const auto emit = [&json](const char* name, const ScalingSample& sample) {
+      char block[512];
+      std::snprintf(block, sizeof block,
+                    "    \"%s\": {\n"
+                    "      \"threads_delta\": %d,\n"
+                    "      \"req_per_s\": %.1f,\n"
+                    "      \"p50_ms\": %.4f,\n"
+                    "      \"p99_ms\": %.4f\n"
+                    "    }",
+                    name, sample.threads_delta, sample.req_per_s, sample.p50_ms,
+                    sample.p99_ms);
+      json << block;
+    };
+    json << ",\n  \"scaling\": {\n"
+         << "    \"idle\": " << idle << ",\n"
+         << "    \"pool_threads\": " << kScalingPool << ",\n";
+    emit("epoll", epoll_sample);
+    json << ",\n";
+    emit("threads", threads_sample);
+    json << "\n  }";
+  }
+  json << "\n}\n";
 
   std::ofstream out(out_path);
   if (!out.good()) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  out << json;
-  std::printf("%s", json);
+  out << json.str();
+  std::printf("%s", json.str().c_str());
   std::printf("service bench: %zu connections x %zu requests over %zu identities: "
               "%.1f req/s, p50 %.3f ms, p99 %.3f ms, %llu solves\n",
               connections, per_connection, distinct, req_per_s, quantile(all, 0.50),
               quantile(all, 0.99), static_cast<unsigned long long>(stats.service.solved));
+
+  if (idle > 0) {
+    std::printf("scaling (%zu idle): epoll %+d threads, %.1f req/s, p50 %.3f ms | "
+                "threads %+d threads, %.1f req/s, p50 %.3f ms\n",
+                idle, epoll_sample.threads_delta, epoll_sample.req_per_s,
+                epoll_sample.p50_ms, threads_sample.threads_delta,
+                threads_sample.req_per_s, threads_sample.p50_ms);
+
+    // Gate 1: the reactor's thread bill is the pool plus a constant (the
+    // loop thread and a little runtime slack) — NOT a function of idle.
+    const int allowed = static_cast<int>(kScalingPool) + 8;
+    if (epoll_sample.threads_delta > allowed) {
+      std::fprintf(stderr,
+                   "error: epoll backend used %d extra threads with %zu idle "
+                   "connections (allowed %d — pool plus slack)\n",
+                   epoll_sample.threads_delta, idle, allowed);
+      return 1;
+    }
+    // Gate 2: the contrast is real — the threads backend did pay roughly a
+    // thread per idle connection, so gate 1 is measuring something.
+    if (threads_sample.threads_delta < static_cast<int>(idle)) {
+      std::fprintf(stderr,
+                   "error: threads backend used only %d extra threads with %zu "
+                   "idle connections — the scaling contrast collapsed\n",
+                   threads_sample.threads_delta, idle);
+      return 1;
+    }
+    // Gate 3: multiplexing is not allowed to cost active throughput. The
+    // epoll backend should meet or beat the threads backend here; 0.85
+    // absorbs CI timer noise without letting a real regression through.
+    if (epoll_sample.req_per_s < 0.85 * threads_sample.req_per_s) {
+      std::fprintf(stderr,
+                   "error: epoll active throughput %.1f req/s fell below 0.85x "
+                   "the threads backend's %.1f req/s\n",
+                   epoll_sample.req_per_s, threads_sample.req_per_s);
+      return 1;
+    }
+  }
   return 0;
 }

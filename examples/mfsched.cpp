@@ -119,8 +119,10 @@ int usage(const char* program) {
       "       %s --cache-gc SIZE [--cache-gc-ttl AGE] --cache-dir DIR\n"
       "       %s --serve-demo [--requests N] [--distinct K] [--method ID]\n"
       "          [--cache-dir DIR]\n"
-      "       %s --serve PORT [--threads N] [--max-pending N] [--rate-limit BURST]\n"
-      "          [--rate-refill PER_SEC] [--port-file FILE] [--cache-dir DIR]\n"
+      "       %s --serve PORT [--serve-backend epoll|threads] [--threads N]\n"
+      "          [--max-pending N] [--rate-limit BURST] [--rate-refill PER_SEC]\n"
+      "          [--idle-timeout SECONDS] [--cache-gc-interval DUR]\n"
+      "          [--port-file FILE] [--cache-dir DIR]\n"
       "       %s --connect HOST:PORT (--figure NAME | <problem-file> | --serve-stats)\n"
       "          [--client-id ID] [--connections N]\n"
       "       %s --help\n"
@@ -148,6 +150,16 @@ int usage(const char* program) {
       "--serve           runs the scheduler daemon on PORT (0 = ephemeral; loopback\n"
       "                  only); SIGTERM drains gracefully — stop accepting, finish\n"
       "                  in-flight solves, report final counters\n"
+      "--serve-backend   connection model: 'epoll' (default — one reactor thread\n"
+      "                  multiplexes every connection; idle clients cost no thread)\n"
+      "                  or 'threads' (one blocking thread per connection)\n"
+      "--idle-timeout    close connections idle for SECONDS (no completed frame,\n"
+      "                  no flushed response; 0 = never). Frame-accurate under\n"
+      "                  epoll, a per-read receive timeout under threads\n"
+      "--cache-gc-interval  run disk-cache GC inside the daemon every DUR\n"
+      "                  (s/m/h/d suffixes) on the epoll timer queue; the cap and\n"
+      "                  TTL come from --cache-gc SIZE / --cache-gc-ttl AGE;\n"
+      "                  needs --cache-dir and the epoll backend\n"
       "--max-pending     daemon admission cap: solves in flight across all clients\n"
       "                  before new ones are refused with queue-full\n"
       "--rate-limit      per-client token bucket: burst capacity in requests\n"
@@ -243,6 +255,12 @@ class CacheScope {
   }
 
   [[nodiscard]] mf::solve::CacheBackend* backend() noexcept { return backend_; }
+
+  /// The persistent tier itself, when --cache-dir built one — the daemon's
+  /// GC timer needs the `DiskCache` (gc() is not part of `CacheBackend`).
+  [[nodiscard]] mf::solve::DiskCache* disk() noexcept {
+    return disk_.has_value() ? &*disk_ : nullptr;
+  }
 
   /// Re-anchors the deltas (e.g. between --repeat rounds).
   void reset_baseline() {
@@ -682,6 +700,59 @@ int run_serve(const mf::support::CliArgs& args) {
   options.rate_refill_per_sec = args.get_double("rate-refill", 1.0);
   options.cache = cache_scope.backend();
 
+  const std::string backend_text = args.get("serve-backend", "epoll");
+  const std::optional<mf::serve::ServeBackend> backend =
+      mf::serve::serve_backend_from_string(backend_text);
+  if (!backend.has_value()) {
+    std::fprintf(stderr, "error: unknown --serve-backend '%s' (epoll, threads)\n",
+                 backend_text.c_str());
+    return 2;
+  }
+  options.backend = *backend;
+  options.idle_timeout_seconds = args.get_double("idle-timeout", 0.0);
+
+  if (args.has("cache-gc-interval")) {
+    const std::optional<std::chrono::seconds> interval =
+        parse_age_seconds(args.get("cache-gc-interval", ""));
+    if (!interval.has_value() || interval->count() <= 0) {
+      std::fprintf(stderr,
+                   "error: --cache-gc-interval expects a positive duration like 30s or "
+                   "15m (s/m/h/d)\n");
+      return 2;
+    }
+    if (*backend != mf::serve::ServeBackend::kEpoll) {
+      std::fprintf(stderr,
+                   "error: --cache-gc-interval needs the epoll backend (the timer queue "
+                   "lives in the reactor)\n");
+      return 2;
+    }
+    if (cache_scope.disk() == nullptr) {
+      std::fprintf(stderr, "error: --cache-gc-interval needs --cache-dir DIR\n");
+      return 2;
+    }
+    options.cache_gc_interval_seconds = static_cast<double>(interval->count());
+    options.gc_disk = cache_scope.disk();
+    if (args.has("cache-gc")) {
+      const std::optional<std::uint64_t> cap = parse_size_bytes(args.get("cache-gc", ""));
+      if (!cap.has_value()) {
+        std::fprintf(stderr,
+                     "error: --cache-gc expects a size like 64M (K/M/G suffixes)\n");
+        return 2;
+      }
+      options.gc_max_bytes = *cap;
+    }
+    if (args.has("cache-gc-ttl")) {
+      const std::optional<std::chrono::seconds> age =
+          parse_age_seconds(args.get("cache-gc-ttl", ""));
+      if (!age.has_value()) {
+        std::fprintf(stderr,
+                     "error: --cache-gc-ttl expects an age like 36h or 7d (s/m/h/d)\n");
+        return 2;
+      }
+      options.gc_max_age_seconds = static_cast<std::uint64_t>(age->count());
+    }
+  }
+
   mf::serve::Daemon daemon(options);
   try {
     daemon.start();
@@ -689,8 +760,9 @@ int run_serve(const mf::support::CliArgs& args) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
-  std::printf("serve: listening on 127.0.0.1:%u (max pending %zu, rate limit %s)\n",
-              static_cast<unsigned>(daemon.port()), options.max_pending,
+  std::printf("serve: listening on 127.0.0.1:%u (backend %s, max pending %zu, rate limit %s)\n",
+              static_cast<unsigned>(daemon.port()),
+              mf::serve::to_string(options.backend).c_str(), options.max_pending,
               options.rate_capacity > 0.0
                   ? (std::to_string(options.rate_capacity) + " burst").c_str()
                   : "off");
@@ -725,6 +797,20 @@ int run_serve(const mf::support::CliArgs& args) {
               static_cast<unsigned long long>(stats.connections_total),
               static_cast<unsigned long long>(stats.service.completed),
               stats.latency_p50_ms, stats.latency_p99_ms);
+  if (options.backend == mf::serve::ServeBackend::kEpoll) {
+    std::printf("serve: loop %llu wakeups, %llu timers fired, %llu idle closes, "
+                "%llu bytes backpressured\n",
+                static_cast<unsigned long long>(stats.loop_wakeups),
+                static_cast<unsigned long long>(stats.loop_timers_fired),
+                static_cast<unsigned long long>(stats.idle_closes),
+                static_cast<unsigned long long>(stats.backpressure_bytes));
+  }
+  if (options.cache_gc_interval_seconds > 0.0) {
+    std::printf("serve: gc %llu runs, %llu entries removed (%llu bytes)\n",
+                static_cast<unsigned long long>(stats.gc_runs),
+                static_cast<unsigned long long>(stats.gc_entries_removed),
+                static_cast<unsigned long long>(stats.gc_bytes_removed));
+  }
   cache_scope.print_delta();
   return 0;
 }
@@ -765,6 +851,16 @@ int run_remote_stats(const mf::support::CliArgs& args) {
                 static_cast<unsigned long long>(stats->pending),
                 static_cast<unsigned long long>(stats->pool_queue_depth),
                 static_cast<unsigned long long>(stats->pool_in_flight));
+    std::printf("daemon loop: %llu wakeups, %llu timers fired, %llu idle closes, "
+                "%llu bytes backpressured; gc %llu runs (%llu entries, %llu bytes "
+                "removed)\n",
+                static_cast<unsigned long long>(stats->loop_wakeups),
+                static_cast<unsigned long long>(stats->loop_timers_fired),
+                static_cast<unsigned long long>(stats->idle_closes),
+                static_cast<unsigned long long>(stats->backpressure_bytes),
+                static_cast<unsigned long long>(stats->gc_runs),
+                static_cast<unsigned long long>(stats->gc_entries_removed),
+                static_cast<unsigned long long>(stats->gc_bytes_removed));
     std::printf("daemon latency: %llu samples, p50 %.3f ms, p90 %.3f ms, p99 %.3f ms\n",
                 static_cast<unsigned long long>(stats->latency_count),
                 stats->latency_p50_ms, stats->latency_p90_ms, stats->latency_p99_ms);
@@ -945,8 +1041,11 @@ int main(int argc, char** argv) {
   }
   if (args.has("list")) return list_solvers();
   if (args.has("list-scenarios")) return list_scenarios();
-  if (args.has("cache-gc") || args.has("cache-gc-ttl")) return run_cache_gc(args);
+  // --serve wins over --cache-gc/--cache-gc-ttl: combined with --serve and
+  // --cache-gc-interval they become the in-daemon GC policy (cap + TTL)
+  // instead of a one-shot standalone pass.
   if (args.has("serve")) return run_serve(args);
+  if (args.has("cache-gc") || args.has("cache-gc-ttl")) return run_cache_gc(args);
   if (args.has("serve-stats")) return run_remote_stats(args);
   if (args.has("dispatch")) return run_dispatch(args);
   if (args.has("figure")) return run_figure(args);

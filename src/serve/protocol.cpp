@@ -15,7 +15,6 @@ namespace {
 
 constexpr const char* kRequestHeader = "mf-serve-request v1";
 constexpr const char* kStatsHeader = "mf-serve-stats v1";
-constexpr std::size_t kMaxHeaderBytes = 128;
 
 std::string hex_double(double value) {
   char buffer[48];
@@ -228,6 +227,31 @@ ReadResult read_frame(int fd, std::size_t max_body_bytes) {
     }
   }
 
+  const HeaderParse parsed = parse_frame_header(header, max_body_bytes);
+  if (parsed.status != ReadStatus::kOk) {
+    result.status = parsed.status;
+    result.detail = parsed.detail;
+    return result;
+  }
+
+  result.frame.type = parsed.type;
+  result.frame.body.resize(static_cast<std::size_t>(parsed.length));
+  if (parsed.length > 0 &&
+      !read_all(fd, result.frame.body.data(), result.frame.body.size())) {
+    result.status = ReadStatus::kMalformed;
+    result.detail =
+        "truncated body (declared " + std::to_string(parsed.length) + " bytes)";
+    result.frame.body.clear();
+    return result;
+  }
+  result.status = ReadStatus::kOk;
+  return result;
+}
+
+HeaderParse parse_frame_header(const std::string& header,
+                               std::size_t max_body_bytes) {
+  HeaderParse result;
+
   // Strictly three tokens: magic, type, decimal length — nothing more.
   std::istringstream fields(header);
   std::string magic;
@@ -236,40 +260,27 @@ ReadResult read_frame(int fd, std::size_t max_body_bytes) {
   std::string excess;
   fields >> magic >> type_token >> length_token;
   if (fields >> excess) {
-    result.status = ReadStatus::kMalformed;
     result.detail = "trailing tokens in frame header";
     return result;
   }
   if (magic != kProtocolMagic) {
-    result.status = ReadStatus::kMalformed;
     result.detail = "bad magic '" + one_line(magic) + "' (want " + kProtocolMagic + ")";
     return result;
   }
   const std::optional<FrameType> type = frame_type_from_string(type_token);
   if (!type.has_value()) {
-    result.status = ReadStatus::kMalformed;
     result.detail = "unknown frame type '" + one_line(type_token) + "'";
     return result;
   }
-  std::uint64_t length = 0;
-  if (!parse_u64_token(length_token, length)) {
-    result.status = ReadStatus::kMalformed;
+  if (!parse_u64_token(length_token, result.length)) {
     result.detail = "unparsable content length '" + one_line(length_token) + "'";
     return result;
   }
-  if (length > max_body_bytes) {
+  result.type = *type;
+  if (result.length > max_body_bytes) {
     result.status = ReadStatus::kTooLarge;
-    result.detail = "declared body of " + std::to_string(length) + " bytes exceeds limit of " +
-                    std::to_string(max_body_bytes);
-    return result;
-  }
-
-  result.frame.type = *type;
-  result.frame.body.resize(static_cast<std::size_t>(length));
-  if (length > 0 && !read_all(fd, result.frame.body.data(), result.frame.body.size())) {
-    result.status = ReadStatus::kMalformed;
-    result.detail = "truncated body (declared " + std::to_string(length) + " bytes)";
-    result.frame.body.clear();
+    result.detail = "declared body of " + std::to_string(result.length) +
+                    " bytes exceeds limit of " + std::to_string(max_body_bytes);
     return result;
   }
   result.status = ReadStatus::kOk;
@@ -410,6 +421,10 @@ std::string stats_to_text(const DaemonStatsSnapshot& stats) {
   out << "connections " << stats.connections_active << ' ' << stats.connections_total << "\n";
   out << "pending " << stats.pending << "\n";
   out << "pool " << stats.pool_queue_depth << ' ' << stats.pool_in_flight << "\n";
+  out << "loop " << stats.loop_wakeups << ' ' << stats.loop_timers_fired << ' '
+      << stats.idle_closes << ' ' << stats.backpressure_bytes << "\n";
+  out << "gc " << stats.gc_runs << ' ' << stats.gc_entries_removed << ' '
+      << stats.gc_bytes_removed << "\n";
   out << "latency-count " << stats.latency_count << "\n";
   out << "latency-p50 " << hex_double(stats.latency_p50_ms) << "\n";
   out << "latency-p90 " << hex_double(stats.latency_p90_ms) << "\n";
@@ -463,6 +478,17 @@ std::optional<DaemonStatsSnapshot> stats_from_text(const std::string& text) {
   if (!reader.expect("pending") || !reader.read_u64(stats.pending)) return std::nullopt;
   if (!reader.expect("pool") || !reader.read_u64(stats.pool_queue_depth) ||
       !reader.read_u64(stats.pool_in_flight)) {
+    return std::nullopt;
+  }
+  if (!reader.expect("loop") || !reader.read_u64(stats.loop_wakeups) ||
+      !reader.read_u64(stats.loop_timers_fired) ||
+      !reader.read_u64(stats.idle_closes) ||
+      !reader.read_u64(stats.backpressure_bytes)) {
+    return std::nullopt;
+  }
+  if (!reader.expect("gc") || !reader.read_u64(stats.gc_runs) ||
+      !reader.read_u64(stats.gc_entries_removed) ||
+      !reader.read_u64(stats.gc_bytes_removed)) {
     return std::nullopt;
   }
   if (!reader.expect("latency-count") || !reader.read_u64(stats.latency_count)) {

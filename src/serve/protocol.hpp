@@ -48,6 +48,11 @@ inline constexpr const char* kProtocolMagic = "mf-serve/1";
 /// read — the daemon never buffers an attacker-sized allocation.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
 
+/// A frame header line may not exceed this many bytes (newline excluded);
+/// both the blocking reader and the epoll state machine enforce it, so a
+/// client dribbling garbage cannot grow an unbounded header buffer.
+inline constexpr std::size_t kMaxHeaderBytes = 128;
+
 /// Machine-readable error codes carried as the first token of an `error`
 /// response body.
 inline constexpr const char* kErrBadRequest = "bad-request";
@@ -82,10 +87,28 @@ struct ReadResult {
 };
 
 /// Reads exactly one frame from `fd` (blocking). Strict: the header must be
-/// `mf-serve/1 <known-type> <decimal-length>` within 128 bytes, and the
-/// body must deliver exactly `length` bytes before EOF. `max_body_bytes`
+/// `mf-serve/1 <known-type> <decimal-length>` within `kMaxHeaderBytes`, and
+/// the body must deliver exactly `length` bytes before EOF. `max_body_bytes`
 /// caps the declared length (kTooLarge beyond it).
 [[nodiscard]] ReadResult read_frame(int fd, std::size_t max_body_bytes = kDefaultMaxFrameBytes);
+
+/// Result of validating one complete header line (newline stripped).
+/// kOk means `type`/`length` are usable; kTooLarge means the declared
+/// length exceeds `max_body_bytes` (refuse before reading any body byte);
+/// kMalformed carries the reason in `detail`.
+struct HeaderParse {
+  ReadStatus status = ReadStatus::kMalformed;
+  FrameType type = FrameType::kError;
+  std::uint64_t length = 0;
+  std::string detail;
+};
+
+/// The one strict header parser both the blocking reader and the epoll
+/// state machine share — strictly three tokens (`mf-serve/1 <type> <len>`),
+/// so the two backends reject malformed headers with byte-identical
+/// details.
+[[nodiscard]] HeaderParse parse_frame_header(const std::string& header,
+                                             std::size_t max_body_bytes);
 
 /// Writes a whole frame to `fd` (blocking, retries short writes); false on
 /// any write error.
@@ -127,6 +150,18 @@ struct DaemonStatsSnapshot {
   std::uint64_t pending = 0;  ///< solve requests admitted and not yet answered
   std::uint64_t pool_queue_depth = 0;
   std::uint64_t pool_in_flight = 0;
+  // Event-loop gauges (zero under the threads backend, which has no
+  // reactor): epoll wakeups with work, timer handlers run, connections
+  // closed by the idle timeout, and bytes currently buffered for writers
+  // whose peer is slow to read (backpressure).
+  std::uint64_t loop_wakeups = 0;
+  std::uint64_t loop_timers_fired = 0;
+  std::uint64_t idle_closes = 0;
+  std::uint64_t backpressure_bytes = 0;
+  // In-daemon periodic cache GC (the `--cache-gc-interval` timer).
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_entries_removed = 0;
+  std::uint64_t gc_bytes_removed = 0;
   std::uint64_t latency_count = 0;
   double latency_p50_ms = 0.0;
   double latency_p90_ms = 0.0;

@@ -45,6 +45,24 @@ class RateLimiter {
     return true;
   }
 
+  /// Drops every bucket that has refilled back to capacity — a client that
+  /// has been quiet long enough to earn its full burst again is
+  /// indistinguishable from one never seen, so its bucket is pure memory.
+  /// The daemon's housekeeping timer calls this so a long-lived daemon's
+  /// bucket map tracks *active* clients, not every id ever seen.
+  void prune_full(double now_seconds) {
+    if (capacity_ <= 0.0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      const double elapsed = std::max(0.0, now_seconds - it->second.last_refill);
+      if (it->second.tokens + elapsed * refill_per_sec_ >= capacity_) {
+        it = buckets_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   /// Number of distinct client ids seen so far.
   [[nodiscard]] std::size_t clients() const {
     const std::lock_guard<std::mutex> lock(mutex_);

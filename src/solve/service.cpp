@@ -104,9 +104,25 @@ SolveResult SolveService::execute(const Solver& solver, const core::Problem& pro
   }
 }
 
+void SolveService::deliver(Waiter& waiter, SolveResult result) {
+  if (waiter.callback) {
+    waiter.callback(std::move(result));
+  } else {
+    waiter.promise.set_value(std::move(result));
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  process_counters().completed.fetch_add(1, std::memory_order_relaxed);
+}
+
 void SolveService::run_flight(const CacheKey& key, const SolveRequest& request,
                               const Solver& solver) {
-  SolveResult result = execute(solver, *request.problem, request.params, key);
+  // No cache probe here: submit_with_waiter already looked the key up on
+  // the calling thread and only registers a flight on a miss, so a second
+  // lookup would double-count every cold miss in the backend's stats. An
+  // entry inserted in the tiny probe-to-here window just gets recomputed
+  // bit-identically and overwritten with itself.
+  SolveResult result =
+      execute(solver, *request.problem, request.params, std::nullopt);
 
   // Populate the backend BEFORE detaching the flight — the order is what
   // upholds "at most one solve per identity": a twin arriving during the
@@ -117,7 +133,7 @@ void SolveService::run_flight(const CacheKey& key, const SolveRequest& request,
   // re-check below settles in at most two rounds.
   const bool storable =
       !result.diagnostics.cache_hit && result.status != Status::kError;
-  std::vector<std::promise<SolveResult>> waiters;
+  std::vector<Waiter> waiters;
   bool stored = false;
   for (;;) {
     {
@@ -139,56 +155,86 @@ void SolveService::run_flight(const CacheKey& key, const SolveRequest& request,
     // case that is the only waiter, and nothing is deep-copied.
     if (w + 1 == waiters.size()) {
       result.diagnostics.dedup_joined = w > 0;
-      waiters[w].set_value(std::move(result));
+      deliver(waiters[w], std::move(result));
     } else {
       SolveResult copy = result;
       copy.diagnostics.dedup_joined = w > 0;
-      waiters[w].set_value(std::move(copy));
+      deliver(waiters[w], std::move(copy));
     }
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    process_counters().completed.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-std::future<SolveResult> SolveService::submit_resolved(
-    SolveRequest request, std::shared_ptr<const Solver> solver,
-    std::optional<core::Digest> digest) {
+void SolveService::submit_with_waiter(SolveRequest request,
+                                      std::shared_ptr<const Solver> solver,
+                                      std::optional<core::Digest> digest,
+                                      Waiter waiter) {
   MF_REQUIRE(request.problem != nullptr, "solve request needs a problem");
   submitted_.fetch_add(1, std::memory_order_relaxed);
   process_counters().submitted.fetch_add(1, std::memory_order_relaxed);
 
-  std::promise<SolveResult> promise;
-  std::future<SolveResult> future = promise.get_future();
-
   if (request.params.cache == CachePolicy::kOff) {
     // No key, no dedup: an uncacheable request demands its own solve.
     enqueue([this, request = std::move(request), solver = std::move(solver),
-             promise = std::move(promise)]() mutable {
-      promise.set_value(execute(*solver, *request.problem, request.params, std::nullopt));
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      process_counters().completed.fetch_add(1, std::memory_order_relaxed);
+             waiter = std::move(waiter)]() mutable {
+      deliver(waiter,
+              execute(*solver, *request.problem, request.params, std::nullopt));
     });
-    return future;
+    return;
   }
 
   CacheKey key = make_cache_key(
       digest.has_value() ? *digest : core::digest(*request.problem), solver->id(),
       request.params);
   const bool write_through = request.params.cache == CachePolicy::kReadWrite;
-  {
+  // Single-flight: attach to an identical in-flight solve when there is
+  // one. The shared result is bit-for-bit what this request would compute
+  // — the key is the full solve identity.
+  const auto try_join_flight = [&]() -> bool {
     std::lock_guard lock(flights_mutex_);
     if (const auto it = flights_.find(key); it != flights_.end()) {
-      // Single-flight: attach to the identical in-flight solve. The shared
-      // result is bit-for-bit what this request would compute — the key is
-      // the full solve identity.
-      it->second->waiters.push_back(std::move(promise));
+      it->second->waiters.push_back(std::move(waiter));
       it->second->write_through |= write_through;
       dedup_joined_.fetch_add(1, std::memory_order_relaxed);
       process_counters().dedup_joined.fetch_add(1, std::memory_order_relaxed);
-      return future;
+      return true;
+    }
+    return false;
+  };
+
+  // Warm-identity fast path: probe the cache on the calling thread before
+  // paying for a flight and a pool round-trip. This is the serving steady
+  // state — a cache-hit request costs a map lookup and an inline delivery,
+  // no task queue, no future wakeup, no thread handoff. Flights are
+  // consulted first (and re-checked after the probe): while an identical
+  // solve is in flight the entry may not be inserted yet, and joining is
+  // both correct and cheaper.
+  if (try_join_flight()) return;
+  std::optional<SolveResult> hit;
+  try {
+    hit = cache_->lookup(key);
+  } catch (...) {
+    hit.reset();  // a misbehaving backend degrades to the solve path
+  }
+  if (hit.has_value()) {
+    hit->diagnostics.cache_hit = true;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    process_counters().cache_hits.fetch_add(1, std::memory_order_relaxed);
+    deliver(waiter, *std::move(hit));
+    return;
+  }
+
+  // Miss: register the flight, unless one appeared while we probed.
+  {
+    std::lock_guard lock(flights_mutex_);
+    if (const auto it = flights_.find(key); it != flights_.end()) {
+      it->second->waiters.push_back(std::move(waiter));
+      it->second->write_through |= write_through;
+      dedup_joined_.fetch_add(1, std::memory_order_relaxed);
+      process_counters().dedup_joined.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
     auto flight = std::make_shared<Flight>();
-    flight->waiters.push_back(std::move(promise));
+    flight->waiters.push_back(std::move(waiter));
     flight->write_through = write_through;
     flights_.emplace(key, std::move(flight));
   }
@@ -201,9 +247,11 @@ std::future<SolveResult> SolveService::submit_resolved(
     });
   } catch (...) {
     // The leader's task never got queued: retract the flight and deliver
-    // the failure through every waiter's future (a twin may have joined
-    // between the emplace and here) instead of leaving them to hang.
-    std::vector<std::promise<SolveResult>> waiters;
+    // the failure through every waiter (a twin may have joined between the
+    // emplace and here) instead of leaving them to hang. Promise waiters
+    // get the exception; callback waiters get a kError result — a callback
+    // has no exception channel.
+    std::vector<Waiter> waiters;
     {
       std::lock_guard lock(flights_mutex_);
       // enqueue() can only throw before the task runs, so the flight is
@@ -214,8 +262,33 @@ std::future<SolveResult> SolveService::submit_resolved(
       flights_.erase(it);
     }
     const std::exception_ptr error = std::current_exception();
-    for (std::promise<SolveResult>& waiter : waiters) waiter.set_exception(error);
+    for (Waiter& failed : waiters) {
+      if (failed.callback) {
+        SolveResult result;
+        result.status = Status::kError;
+        result.diagnostics.solver_id = solver ? solver->id() : std::string();
+        try {
+          std::rethrow_exception(error);
+        } catch (const std::exception& e) {
+          result.diagnostics.note = e.what();
+        } catch (...) {
+          result.diagnostics.note = "unknown exception";
+        }
+        deliver(failed, std::move(result));
+      } else {
+        failed.promise.set_exception(error);
+      }
+    }
   }
+}
+
+std::future<SolveResult> SolveService::submit_resolved(
+    SolveRequest request, std::shared_ptr<const Solver> solver,
+    std::optional<core::Digest> digest) {
+  Waiter waiter;
+  std::future<SolveResult> future = waiter.promise.get_future();
+  submit_with_waiter(std::move(request), std::move(solver), std::move(digest),
+                     std::move(waiter));
   return future;
 }
 
@@ -226,6 +299,18 @@ std::future<SolveResult> SolveService::submit(SolveRequest request) {
   std::shared_ptr<const Solver> solver = SolverRegistry::instance().resolve(
       effective_solver_id(request.solver_id, request.params));
   return submit_resolved(std::move(request), std::move(solver), std::nullopt);
+}
+
+void SolveService::submit_async(SolveRequest request,
+                                std::function<void(SolveResult)> on_complete) {
+  MF_REQUIRE(request.problem != nullptr, "solve request needs a problem");
+  MF_REQUIRE(on_complete != nullptr, "submit_async needs a completion callback");
+  std::shared_ptr<const Solver> solver = SolverRegistry::instance().resolve(
+      effective_solver_id(request.solver_id, request.params));
+  Waiter waiter;
+  waiter.callback = std::move(on_complete);
+  submit_with_waiter(std::move(request), std::move(solver), std::nullopt,
+                     std::move(waiter));
 }
 
 std::vector<SolveResult> SolveService::solve_all(

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -116,6 +117,20 @@ class SolveService : public SolveExecutor {
   /// exceptions). The request is taken as final: no stream-seed derivation.
   [[nodiscard]] std::future<SolveResult> submit(SolveRequest request);
 
+  /// Continuation-style twin of `submit()` for callers that must not block
+  /// a thread per outstanding solve — the daemon's event-loop backend runs
+  /// hundreds of connections on one thread and re-enters its reactor from
+  /// this callback. `on_complete` runs exactly once, on the pool thread
+  /// that finished the flight (or inline, serial mode), with the same
+  /// result the future would have carried; dedup/caching semantics are
+  /// identical to `submit()` because both paths share one flight table.
+  /// Failures that `submit()` would deliver as a future exception (the
+  /// pool rejecting the task) arrive as a Status::kError result instead —
+  /// a callback has no exception channel. Unknown solver ids still throw
+  /// on the caller's thread before any work is queued.
+  void submit_async(SolveRequest request,
+                    std::function<void(SolveResult)> on_complete);
+
   /// Synchronous batch face: solves every request; `results[i]` corresponds
   /// to `requests[i]`. All solver ids are resolved up front, distinct
   /// problems are digested once, per-index stream seeds are derived where
@@ -149,9 +164,16 @@ class SolveService : public SolveExecutor {
   }
 
  private:
+  /// One request attached to a flight: either a promise (submit) or a
+  /// completion callback (submit_async). Exactly one side is active —
+  /// `callback` non-null means callback delivery.
+  struct Waiter {
+    std::promise<SolveResult> promise;
+    std::function<void(SolveResult)> callback;
+  };
   struct Flight {
-    /// Waiter promises, leader's first; fulfilled together on completion.
-    std::vector<std::promise<SolveResult>> waiters;
+    /// Waiters, leader's first; fulfilled together on completion.
+    std::vector<Waiter> waiters;
     /// True when any waiter requested kReadWrite: the policy is not part
     /// of the key, so a kRead leader and a kReadWrite twin share a flight
     /// — and the twin's write-through wish must still be honoured.
@@ -167,6 +189,14 @@ class SolveService : public SolveExecutor {
   [[nodiscard]] std::future<SolveResult> submit_resolved(
       SolveRequest request, std::shared_ptr<const Solver> solver,
       std::optional<core::Digest> digest);
+  /// The shared admission path under submit()/submit_async: dedup against
+  /// the flight table or launch a leader, delivering through `waiter`.
+  void submit_with_waiter(SolveRequest request,
+                          std::shared_ptr<const Solver> solver,
+                          std::optional<core::Digest> digest, Waiter waiter);
+  /// Fulfills one waiter (promise or callback) and bumps the completion
+  /// counters.
+  void deliver(Waiter& waiter, SolveResult result);
   /// Leader body: cache lookup → solve; exceptions to kError. Backend
   /// population is the flight's job (run_flight) — whether to write
   /// through depends on every waiter's policy, not just the leader's.

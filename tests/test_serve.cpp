@@ -6,15 +6,27 @@
 // the serving contract itself — concurrent clients asking for the same
 // work cost one solve (single-flight across TCP connections), and a warm
 // daemon re-solves nothing.
+//
+// Live-daemon tests are parameterized over BOTH serving backends (the
+// epoll reactor and the thread-per-connection fallback), and a dedicated
+// test replays every refusal against both and demands byte-identical wire
+// responses. Byte-level abuse — dribbled headers, pipelined frames, idle
+// timeouts — is exercised through a raw socket, below the Client helper.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <bit>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -253,6 +265,13 @@ TEST(ServeProtocol, StatsRoundTripHexfloatLatencies) {
   stats.pending = 2;
   stats.pool_queue_depth = 1;
   stats.pool_in_flight = 3;
+  stats.loop_wakeups = 4242;
+  stats.loop_timers_fired = 17;
+  stats.idle_closes = 6;
+  stats.backpressure_bytes = 65536;
+  stats.gc_runs = 3;
+  stats.gc_entries_removed = 21;
+  stats.gc_bytes_removed = 9001;
   stats.latency_count = 100;
   stats.latency_p50_ms = 0x1.8p1;
   stats.latency_p90_ms = 0x1.9p3;
@@ -268,6 +287,13 @@ TEST(ServeProtocol, StatsRoundTripHexfloatLatencies) {
   EXPECT_EQ(parsed->connections_total, 12u);
   EXPECT_EQ(parsed->pending, 2u);
   EXPECT_EQ(parsed->pool_in_flight, 3u);
+  EXPECT_EQ(parsed->loop_wakeups, 4242u);
+  EXPECT_EQ(parsed->loop_timers_fired, 17u);
+  EXPECT_EQ(parsed->idle_closes, 6u);
+  EXPECT_EQ(parsed->backpressure_bytes, 65536u);
+  EXPECT_EQ(parsed->gc_runs, 3u);
+  EXPECT_EQ(parsed->gc_entries_removed, 21u);
+  EXPECT_EQ(parsed->gc_bytes_removed, 9001u);
   EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed->latency_p99_ms),
             std::bit_cast<std::uint64_t>(stats.latency_p99_ms));
   EXPECT_FALSE(stats_from_text("mf-serve-stats v1\nsubmitted ten\n").has_value());
@@ -404,8 +430,109 @@ struct TestDaemon {
   std::unique_ptr<Daemon> daemon;
 };
 
-TEST(ServeDaemon, PingStatsAndSolveRoundTrip) {
-  TestDaemon server;
+/// A bare client socket for byte-level protocol abuse: partial writes,
+/// dribbled headers, half-closes. MSG_NOSIGNAL everywhere — a test poking
+/// a daemon that hung up must see an error, not SIGPIPE.
+struct RawConn {
+  int fd = -1;
+
+  explicit RawConn(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("raw socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      throw std::runtime_error("raw connect() failed");
+    }
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  /// Sends every byte (EINTR-retried); false when the peer is gone.
+  bool send_all(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ::ssize_t wrote =
+          ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(wrote);
+    }
+    return true;
+  }
+
+  /// Half-closes the write side, so the daemon sees EOF after our bytes.
+  void finish_writing() { ::shutdown(fd, SHUT_WR); }
+
+  /// Reads (discarding bytes) until the daemon hangs up; false when
+  /// `deadline_seconds` passes first with the connection still open.
+  bool drain_until_eof(double deadline_seconds) {
+    timeval tv{};
+    tv.tv_usec = 50000;  // poll in 50 ms slices
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(deadline_seconds);
+    char buffer[4096];
+    while (std::chrono::steady_clock::now() < deadline) {
+      const ::ssize_t got = ::recv(fd, buffer, sizeof buffer, 0);
+      if (got == 0) return true;
+      if (got < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+        return true;  // reset by the daemon: also "closed"
+      }
+    }
+    return false;
+  }
+};
+
+/// One complete response frame read off a raw socket, normalized to the
+/// tuple the wire format determines bytes from — comparing these across
+/// backends IS comparing wire bytes (the header re-serializes canonically
+/// from type + body length).
+struct WireObservation {
+  ReadStatus status = ReadStatus::kMalformed;
+  FrameType type = FrameType::kError;
+  std::string body;
+
+  bool operator==(const WireObservation&) const = default;
+};
+
+WireObservation observe_response(RawConn& conn) {
+  const ReadResult result = read_frame(conn.fd, kDefaultMaxFrameBytes);
+  WireObservation seen;
+  seen.status = result.status;
+  if (result.status == ReadStatus::kOk) {
+    seen.type = result.frame.type;
+    seen.body = result.frame.body;
+  }
+  return seen;
+}
+
+/// Live-daemon tests run under BOTH serving backends: the epoll reactor
+/// and the thread-per-connection fallback must be observationally
+/// identical at the wire.
+class ServeDaemonBoth : public ::testing::TestWithParam<ServeBackend> {
+ protected:
+  static DaemonOptions with_backend(DaemonOptions options = {}) {
+    options.backend = GetParam();
+    return options;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServeDaemonBoth,
+                         ::testing::Values(ServeBackend::kEpoll, ServeBackend::kThreads),
+                         [](const ::testing::TestParamInfo<ServeBackend>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST_P(ServeDaemonBoth, PingStatsAndSolveRoundTrip) {
+  TestDaemon server(with_backend());
   Client client("127.0.0.1", server.daemon->port());
   EXPECT_TRUE(client.ping());
 
@@ -433,12 +560,16 @@ TEST(ServeDaemon, PingStatsAndSolveRoundTrip) {
   EXPECT_EQ(stats->service.solved, 1u);
   EXPECT_EQ(stats->latency_count, 1u);
   EXPECT_GE(stats->connections_total, 1u);
+  if (GetParam() == ServeBackend::kEpoll) {
+    // The reactor demonstrably multiplexed this exchange.
+    EXPECT_GT(stats->loop_wakeups, 0u);
+  }
 }
 
-TEST(ServeDaemon, ConcurrentTwinsAcrossConnectionsShareOneFlight) {
+TEST_P(ServeDaemonBoth, ConcurrentTwinsAcrossConnectionsShareOneFlight) {
   ensure_gated_solver();
   GateGuard gate;
-  TestDaemon server;
+  TestDaemon server(with_backend());
 
   WireRequest wire = sample_request();
   wire.request.solver_id = "serve-gated";
@@ -482,8 +613,8 @@ TEST(ServeDaemon, ConcurrentTwinsAcrossConnectionsShareOneFlight) {
   EXPECT_EQ(stats->service.dedup_joined, kClients - 1u);
 }
 
-TEST(ServeDaemon, WarmDaemonRepeatedClientsCostZeroNewSolves) {
-  TestDaemon server;
+TEST_P(ServeDaemonBoth, WarmDaemonRepeatedClientsCostZeroNewSolves) {
+  TestDaemon server(with_backend());
   WireRequest wire = sample_request();
   wire.request.params.local_search = false;
   wire.request.params.cache = solve::CachePolicy::kReadWrite;
@@ -519,8 +650,8 @@ TEST(ServeDaemon, WarmDaemonRepeatedClientsCostZeroNewSolves) {
   EXPECT_GE(stats->service.cache_hits, 5u);
 }
 
-TEST(ServeDaemon, MalformedBytesGetErrorResponsesAndTheDaemonSurvives) {
-  TestDaemon server;
+TEST_P(ServeDaemonBoth, MalformedBytesGetErrorResponsesAndTheDaemonSurvives) {
+  TestDaemon server(with_backend());
   {
     // Garbage magic: error response, then the daemon hangs up.
     Client client("127.0.0.1", server.daemon->port());
@@ -559,10 +690,10 @@ TEST(ServeDaemon, MalformedBytesGetErrorResponsesAndTheDaemonSurvives) {
   EXPECT_TRUE(client.solve(wire).ok);
 }
 
-TEST(ServeDaemon, QueueFullRejectionIsExplicit) {
+TEST_P(ServeDaemonBoth, QueueFullRejectionIsExplicit) {
   DaemonOptions options;
   options.max_pending = 0;  // reject every solve
-  TestDaemon server(options);
+  TestDaemon server(with_backend(options));
   Client client("127.0.0.1", server.daemon->port());
   const Client::Outcome outcome = client.solve(sample_request());
   ASSERT_FALSE(outcome.ok);
@@ -573,11 +704,11 @@ TEST(ServeDaemon, QueueFullRejectionIsExplicit) {
   EXPECT_EQ(stats->service.submitted, 0u);  // refused before submit()
 }
 
-TEST(ServeDaemon, RateLimitRejectionIsPerClient) {
+TEST_P(ServeDaemonBoth, RateLimitRejectionIsPerClient) {
   DaemonOptions options;
   options.rate_capacity = 1.0;  // one request, then dry
   options.rate_refill_per_sec = 0.0;
-  TestDaemon server(options);
+  TestDaemon server(with_backend(options));
 
   WireRequest wire = sample_request();
   wire.request.params.local_search = false;
@@ -599,8 +730,8 @@ TEST(ServeDaemon, RateLimitRejectionIsPerClient) {
   EXPECT_EQ(stats->service.rejected_rate_limited, 1u);
 }
 
-TEST(ServeDaemon, DrainRefusesNewWorkAndStopsAccepting) {
-  TestDaemon server;
+TEST_P(ServeDaemonBoth, DrainRefusesNewWorkAndStopsAccepting) {
+  TestDaemon server(with_backend());
   const std::uint16_t port = server.daemon->port();
   {
     Client client("127.0.0.1", port);
@@ -615,8 +746,8 @@ TEST(ServeDaemon, DrainRefusesNewWorkAndStopsAccepting) {
   EXPECT_EQ(stats.connections_active, 0u);
 }
 
-TEST(ServeDaemon, RemoteExecutorMatchesLocalBatchBitForBit) {
-  TestDaemon server;
+TEST_P(ServeDaemonBoth, RemoteExecutorMatchesLocalBatchBitForBit) {
+  TestDaemon server(with_backend());
   RemoteExecutorOptions remote_options;
   remote_options.port = server.daemon->port();
   remote_options.connections = 3;
@@ -650,8 +781,248 @@ TEST(ServeDaemon, RemoteExecutorMatchesLocalBatchBitForBit) {
   }
 }
 
-TEST(ServeDaemon, RemoteExecutorSurfacesUnknownSolverAsErrorResult) {
-  TestDaemon server;
+// ---------------------------------------------------------------------------
+// Byte-level abuse: partial frames, slow-loris dribblers, idle timeouts
+// ---------------------------------------------------------------------------
+
+TEST_P(ServeDaemonBoth, SlowLorisDribblerDoesNotStallOtherClients) {
+  TestDaemon server(with_backend());
+  // A dribbler parks mid-header and goes quiet...
+  RawConn dribbler(server.daemon->port());
+  ASSERT_TRUE(dribbler.send_all("mf-serve/1 pi"));
+
+  // ...while a well-behaved client on another connection is served in
+  // full — the stalled header must not hold the daemon hostage.
+  Client fast("127.0.0.1", server.daemon->port());
+  EXPECT_TRUE(fast.ping());
+  WireRequest wire = sample_request();
+  wire.request.params.local_search = false;
+  EXPECT_TRUE(fast.solve(wire).ok);
+
+  // The dribbler's frame resumes exactly where it paused.
+  ASSERT_TRUE(dribbler.send_all("ng 0\n"));
+  const WireObservation pong = observe_response(dribbler);
+  ASSERT_EQ(pong.status, ReadStatus::kOk);
+  EXPECT_EQ(pong.type, FrameType::kOk);
+  EXPECT_EQ(pong.body, "pong\n");
+}
+
+TEST_P(ServeDaemonBoth, PartialAndPipelinedFramesKeepBoundaries) {
+  TestDaemon server(with_backend());
+  RawConn conn(server.daemon->port());
+
+  // One byte per write: the frame assembles across arbitrarily bad
+  // packetization.
+  const std::string ping = frame_to_bytes({FrameType::kPing, ""});
+  for (const char c : ping) ASSERT_TRUE(conn.send_all(std::string(1, c)));
+  WireObservation seen = observe_response(conn);
+  ASSERT_EQ(seen.status, ReadStatus::kOk);
+  EXPECT_EQ(seen.body, "pong\n");
+
+  // The other extreme — three requests in one write — answers three
+  // frames in order (the pipelined bytes must not be dropped between
+  // responses).
+  ASSERT_TRUE(conn.send_all(ping + ping + frame_to_bytes({FrameType::kStats, ""})));
+  for (int i = 0; i < 2; ++i) {
+    seen = observe_response(conn);
+    ASSERT_EQ(seen.status, ReadStatus::kOk) << "pipelined ping " << i;
+    EXPECT_EQ(seen.body, "pong\n");
+  }
+  seen = observe_response(conn);
+  ASSERT_EQ(seen.status, ReadStatus::kOk);
+  EXPECT_EQ(seen.type, FrameType::kOk);
+  EXPECT_TRUE(stats_from_text(seen.body).has_value());
+}
+
+TEST_P(ServeDaemonBoth, IdleTimeoutClosesAStalledConnection) {
+  DaemonOptions options;
+  options.idle_timeout_seconds = 0.2;
+  TestDaemon server(with_backend(options));
+
+  RawConn stalled(server.daemon->port());
+  ASSERT_TRUE(stalled.send_all("mf-serve/1 s"));  // mid-header, then silence
+  // The daemon hangs up on its own (the threads backend may send a
+  // bad-request first — its receive timeout surfaces as a read error —
+  // but the close is what matters).
+  EXPECT_TRUE(stalled.drain_until_eof(5.0));
+  if (GetParam() == ServeBackend::kEpoll) {
+    EXPECT_GE(server.daemon->stats_snapshot().idle_closes, 1u);
+  }
+}
+
+TEST(ServeDaemonEpoll, ByteDribbleCannotEvadeFrameIdleClock) {
+  // The epoll backend counts idleness frame-to-frame, so a slow-loris
+  // client feeding one byte at a time — always faster than any per-read
+  // timeout — is still closed on schedule. (The threads backend's
+  // SO_RCVTIMEO approximation is refreshed per byte; this guarantee is
+  // the reactor's alone, hence no TEST_P.)
+  DaemonOptions options;
+  options.idle_timeout_seconds = 0.3;
+  TestDaemon server(options);  // default backend: epoll
+
+  RawConn dribbler(server.daemon->port());
+  timeval tv{};
+  tv.tv_usec = 30000;
+  ::setsockopt(dribbler.fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+  bool closed = false;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  // Stay under kMaxHeaderBytes so the close can only come from the idle
+  // clock, never the header-size guard.
+  for (int i = 0; i < 100 && std::chrono::steady_clock::now() < deadline; ++i) {
+    if (!dribbler.send_all("x")) {
+      closed = true;
+      break;
+    }
+    char byte = 0;
+    const ::ssize_t got = ::recv(dribbler.fd, &byte, 1, 0);  // 30 ms pacing
+    if (got == 0) {
+      closed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(closed) << "dribbler outlived the idle timeout";
+  EXPECT_GE(server.daemon->stats_snapshot().idle_closes, 1u);
+}
+
+TEST_P(ServeDaemonBoth, OversizedFrameIsRefusedBeforeItsBodyArrives) {
+  DaemonOptions options;
+  TestDaemon server(with_backend(options));
+  RawConn conn(server.daemon->port());
+  // Header only — the declared body is never sent, so a daemon that
+  // buffered before refusing would hang here instead of answering.
+  ASSERT_TRUE(conn.send_all("mf-serve/1 solve " +
+                            std::to_string(options.max_frame_bytes + 1) + "\n"));
+  const WireObservation seen = observe_response(conn);
+  ASSERT_EQ(seen.status, ReadStatus::kOk);
+  EXPECT_EQ(seen.type, FrameType::kError);
+  const auto parsed = parse_error_body(seen.body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first, kErrTooLarge);
+  // The stream is out of sync past a refused header: the daemon hangs up.
+  EXPECT_TRUE(conn.drain_until_eof(2.0));
+}
+
+TEST(ServeDaemon, BackendsAnswerTheWireByteIdentically) {
+  // Every refusal the admission gauntlet and the frame readers can emit,
+  // replayed against both backends: status, frame type, and body must
+  // match byte for byte. (`draining` and `internal` come from code both
+  // backends share — admit_solve and identical catch blocks — and have no
+  // deterministic wire trigger, so they are covered by construction.)
+  DaemonOptions options;
+  options.max_pending = 0;      // any admitted solve → queue-full
+  options.rate_capacity = 1.0;  // second solve from one client → rate-limited
+  options.rate_refill_per_sec = 0.0;
+
+  const std::string solve_bytes =
+      frame_to_bytes({FrameType::kSolve, request_to_text(sample_request())});
+
+  struct Probe {
+    const char* name;
+    std::string bytes;
+    bool half_close;
+    int responses;
+  };
+  const std::vector<Probe> probes = {
+      {"bad-magic", "GET / HTTP/1.1\r\n", false, 1},
+      {"unknown-type", "mf-serve/1 shout 0\n", false, 1},
+      {"unparsable-length", "mf-serve/1 solve many\n", false, 1},
+      {"negative-length", "mf-serve/1 solve -1\n", false, 1},
+      {"trailing-token", "mf-serve/1 solve 0 extra\n", false, 1},
+      {"oversized-header", std::string(200, 'x'), true, 1},
+      {"declared-too-large",
+       "mf-serve/1 solve " + std::to_string(options.max_frame_bytes + 1) + "\n", false,
+       1},
+      {"truncated-body", "mf-serve/1 solve 10\nabc", true, 1},
+      {"response-type-frame", "mf-serve/1 ok 0\n", false, 1},
+      {"unparsable-solve-body", frame_to_bytes({FrameType::kSolve, "garbage\n"}), false,
+       1},
+      // One pipelined write, two refusals: the first admitted solve hits
+      // the zero-length pending queue, the retry has drained its bucket.
+      {"queue-full-then-rate-limited", solve_bytes + solve_bytes, false, 2},
+  };
+
+  const auto run_probes = [&](ServeBackend backend) {
+    DaemonOptions backend_options = options;
+    backend_options.backend = backend;
+    TestDaemon server(backend_options);
+    std::vector<std::vector<WireObservation>> seen;
+    for (const Probe& probe : probes) {
+      RawConn conn(server.daemon->port());
+      EXPECT_TRUE(conn.send_all(probe.bytes)) << probe.name;
+      if (probe.half_close) conn.finish_writing();
+      std::vector<WireObservation> responses;
+      for (int i = 0; i < probe.responses; ++i) {
+        responses.push_back(observe_response(conn));
+      }
+      seen.push_back(std::move(responses));
+    }
+    return seen;
+  };
+
+  const auto epoll_seen = run_probes(ServeBackend::kEpoll);
+  const auto threads_seen = run_probes(ServeBackend::kThreads);
+  ASSERT_EQ(epoll_seen.size(), probes.size());
+  ASSERT_EQ(threads_seen.size(), probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(epoll_seen[i], threads_seen[i]) << probes[i].name;
+    for (const WireObservation& response : epoll_seen[i]) {
+      EXPECT_EQ(response.status, ReadStatus::kOk) << probes[i].name;
+      EXPECT_EQ(response.type, FrameType::kError) << probes[i].name;
+    }
+  }
+  // The six-code sweep: every code the protocol defines except the two
+  // shared-by-construction ones appeared above.
+  const auto code_of = [&](const WireObservation& seen) {
+    const auto parsed = parse_error_body(seen.body);
+    return parsed.has_value() ? parsed->first : std::string{};
+  };
+  EXPECT_EQ(code_of(epoll_seen[0][0]), kErrBadRequest);
+  EXPECT_EQ(code_of(epoll_seen[6][0]), kErrTooLarge);
+  EXPECT_EQ(code_of(epoll_seen[10][0]), kErrQueueFull);
+  EXPECT_EQ(code_of(epoll_seen[10][1]), kErrRateLimited);
+}
+
+TEST(ServeDaemonEpoll, GcTimerCompactsTheDiskCachePeriodically) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "mf-serve-gc-timer-test";
+  std::filesystem::remove_all(dir);
+  {
+    solve::DiskCache disk(dir);
+    solve::SolveResult result;
+    result.status = solve::Status::kFeasible;
+    result.period = 1.0;
+    solve::SolveParams params;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      params.seed = seed;
+      disk.insert(solve::make_cache_key(core::digest(small_problem()), "H1", params),
+                  result);
+    }
+    ASSERT_EQ(disk.stats().size, 2u);
+
+    DaemonOptions options;
+    options.cache_gc_interval_seconds = 0.05;
+    options.gc_disk = &disk;
+    options.gc_max_bytes = 1;  // over any real entry: the timer evicts both
+    TestDaemon server(options);
+
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    DaemonStatsSnapshot stats;
+    for (;;) {
+      stats = server.daemon->stats_snapshot();
+      if (stats.gc_runs >= 1 && stats.gc_entries_removed >= 2) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "gc timer never compacted the cache";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(stats.gc_bytes_removed, 1u);
+    EXPECT_EQ(disk.stats().size, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_P(ServeDaemonBoth, RemoteExecutorSurfacesUnknownSolverAsErrorResult) {
+  TestDaemon server(with_backend());
   RemoteExecutorOptions remote_options;
   remote_options.port = server.daemon->port();
   RemoteExecutor remote(remote_options);

@@ -301,6 +301,66 @@ TEST(SolveService, UnknownSolverThrowsOnTheCallersThread) {
   request.problem = std::make_shared<const core::Problem>(small_problem());
   request.solver_id = "no-such-solver";
   EXPECT_THROW((void)service.submit(std::move(request)), std::invalid_argument);
+  // The callback face resolves the solver the same way: throw now, on this
+  // thread — never a callback that silently fails to arrive.
+  SolveRequest async_request;
+  async_request.problem = std::make_shared<const core::Problem>(small_problem());
+  async_request.solver_id = "no-such-solver";
+  EXPECT_THROW(service.submit_async(std::move(async_request), [](SolveResult) {}),
+               std::invalid_argument);
+}
+
+TEST(SolveService, SubmitAsyncDeliversTheSameResultAsTheFutureFace) {
+  // submit_async is what the epoll daemon rides: same flight table, same
+  // counters, but delivery is a callback on the completing thread instead
+  // of a future. A callback waiter and a future waiter joining the same
+  // flight must receive bit-identical results.
+  ensure_test_solvers();
+  GateGuard gate;
+  ResultCache cache(64);
+  support::ThreadPool pool(2);
+  SolveService service(&pool, &cache);
+
+  const auto problem = std::make_shared<const core::Problem>(small_problem());
+  std::promise<SolveResult> delivered;
+  service.submit_async(gated_request(problem, CachePolicy::kRead),
+                       [&delivered](SolveResult result) {
+                         delivered.set_value(std::move(result));
+                       });
+  std::future<SolveResult> twin = service.submit(gated_request(problem, CachePolicy::kRead));
+  GatedCountingSolver::state().release();
+
+  const SolveResult via_callback = delivered.get_future().get();
+  const SolveResult via_future = twin.get();
+  EXPECT_EQ(GatedCountingSolver::state().invocations.load(), 1);
+  EXPECT_EQ(via_callback.status, Status::kFeasible);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(via_callback.period),
+            std::bit_cast<std::uint64_t>(via_future.period));
+  EXPECT_EQ(via_callback.mapping, via_future.mapping);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.solved, 1u);
+  EXPECT_EQ(stats.dedup_joined, 1u);
+}
+
+TEST(SolveService, SubmitAsyncSurfacesSolverFailuresAsErrorResults) {
+  ensure_test_solvers();
+  ResultCache cache(64);
+  support::ThreadPool pool(2);
+  SolveService service(&pool, &cache);
+
+  SolveRequest request;
+  request.problem = std::make_shared<const core::Problem>(small_problem());
+  request.solver_id = "test-throwing";
+  request.params.cache = CachePolicy::kRead;
+  std::promise<SolveResult> delivered;
+  service.submit_async(std::move(request), [&delivered](SolveResult result) {
+    delivered.set_value(std::move(result));
+  });
+  const SolveResult result = delivered.get_future().get();
+  EXPECT_EQ(result.status, Status::kError);
+  EXPECT_NE(result.diagnostics.note.find("deliberate test failure"), std::string::npos);
 }
 
 TEST(SolveService, PooledAndSerialBatchesAgreeBitForBit) {
