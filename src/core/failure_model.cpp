@@ -49,6 +49,11 @@ double FailureModel::loss_probability(const Problem& base, TaskIndex i, MachineI
   return effective_failure(base, i, u);
 }
 
+double FailureModel::residual_loss_probability(const Problem& base, TaskIndex i, MachineIndex u,
+                                               double time_ms) const {
+  return loss_probability(base, i, u, time_ms);
+}
+
 Digest digest(const Problem& base, const FailureModel& model) {
   const Digest base_digest = digest(base);
   if (model.is_identity()) return base_digest;
@@ -113,6 +118,13 @@ double CorrelatedFailureModel::effective_failure(const Problem& base, TaskIndex 
 double CorrelatedFailureModel::effective_time(const Problem& base, TaskIndex i,
                                               MachineIndex u) const {
   return base.platform.time(i, u);
+}
+
+double CorrelatedFailureModel::residual_loss_probability(const Problem& base, TaskIndex i,
+                                                         MachineIndex u,
+                                                         double /*time_ms*/) const {
+  MF_REQUIRE(u < shock_.size(), "machine index beyond the shock vector");
+  return base.platform.failure(i, u);
 }
 
 void CorrelatedFailureModel::add_to_digest(DigestBuilder& builder) const {

@@ -96,6 +96,26 @@ class FailureModel {
   };
   [[nodiscard]] virtual MachineDowntime downtime(MachineIndex /*u*/) const { return {}; }
 
+  /// The machine-level common-mode shock component, for simulators that
+  /// play shocks out as a factory-wide *arrival process* instead of folding
+  /// them into per-attempt coins: element u is the per-attempt probability
+  /// s_u that an attempt on machine M_u is destroyed by a machine shock
+  /// (each in [0, 1)). Empty means the model has no common-mode component
+  /// — the default for every model whose losses are attempt-local.
+  ///
+  /// Contract with residual_loss_probability(): playing a calibrated
+  /// arrival process with these s_u on top of the residual rates must
+  /// reproduce loss_probability()'s marginal per attempt, so the two
+  /// simulation paths agree statistically (sim::stats tests enforce it).
+  [[nodiscard]] virtual std::vector<double> shock_per_attempt() const { return {}; }
+
+  /// Loss probability with the common-mode shock factored *out*: what the
+  /// simulator samples at attempt completion when shocks arrive as events.
+  /// Defaults to loss_probability — correct for every model that reports
+  /// no shock process.
+  [[nodiscard]] virtual double residual_loss_probability(const Problem& base, TaskIndex i,
+                                                         MachineIndex u, double time_ms) const;
+
   /// True for models whose effective problem is the base problem unchanged
   /// (the iid identity) — lets callers skip re-deriving matrices and keep
   /// bit-identical legacy behavior.
@@ -145,6 +165,12 @@ class CorrelatedFailureModel final : public FailureModel {
                                          MachineIndex u) const override;
   [[nodiscard]] double effective_time(const Problem& base, TaskIndex i,
                                       MachineIndex u) const override;
+  /// The shock is the common-mode component: s_u per machine, verbatim.
+  [[nodiscard]] std::vector<double> shock_per_attempt() const override { return shock_; }
+  /// With shocks played as arrivals, only the task's own transient failure
+  /// remains to be sampled at completion.
+  [[nodiscard]] double residual_loss_probability(const Problem& base, TaskIndex i,
+                                                 MachineIndex u, double time_ms) const override;
   void add_to_digest(DigestBuilder& builder) const override;
 
   [[nodiscard]] const std::vector<double>& machine_shock() const noexcept { return shock_; }

@@ -28,6 +28,13 @@ class EventQueue {
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
+  /// Pre-sizes the backing heap. The simulator's pending set is bounded by
+  /// the machine count (one attempt + one fail/repair per machine, plus the
+  /// factory shock clock), so reserving once up front makes every later
+  /// push allocation-free — the long-horizon saturation mode relies on it.
+  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return heap_.capacity(); }
+
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 

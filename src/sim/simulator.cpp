@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 
 #include "sim/event_queue.hpp"
 #include "support/check.hpp"
@@ -58,13 +60,44 @@ Simulator::Simulator(const core::Problem& problem, const core::Mapping& mapping)
 
 namespace {
 
-/// Either `machine` finishes processing one product of `task`, or it
-/// comes back up from a repair (task == kNoTask).
-struct MachineEvent {
+/// One pending-heap entry. `machine` identifies the affected machine for
+/// every kind except kShockArrival (factory-wide); `task` is meaningful for
+/// kAttemptComplete only.
+struct Event {
+  EventKind kind;
   MachineIndex machine;
   TaskIndex task;
+};
 
-  [[nodiscard]] bool is_repair_done() const { return task == kNoTask; }
+/// Block-refilled uniform stream for the hot loss draws: the long-horizon
+/// saturation mode consumes one coin per attempt, and drawing them 64 at a
+/// time keeps the xoshiro state updates in a tight register loop instead of
+/// interleaving them with the event dispatch. Consumption order is the
+/// stream order, so batching never changes an outcome.
+class BatchedCoins {
+ public:
+  explicit BatchedCoins(support::Rng rng) : rng_(rng) {}
+
+  /// Same edge semantics as support::Rng::bernoulli: certain outcomes
+  /// consume no draw (a zero-rate task never advances the stream).
+  [[nodiscard]] bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    if (next_ == kBatch) refill();
+    return buffer_[next_++] < p;
+  }
+
+ private:
+  static constexpr std::size_t kBatch = 64;
+
+  void refill() {
+    for (double& slot : buffer_) slot = rng_.uniform();
+    next_ = 0;
+  }
+
+  support::Rng rng_;
+  std::array<double, kBatch> buffer_{};
+  std::size_t next_ = kBatch;
 };
 
 }  // namespace
@@ -76,7 +109,14 @@ SimulationReport Simulator::run(const SimulationConfig& config, const TraceHook&
   MF_REQUIRE(config.warmup_outputs < config.target_outputs || config.target_outputs == 0,
              "warmup must be smaller than the output target");
 
-  support::Rng rng(config.seed);
+  // Independent RNG substreams per stochastic component: loss coins, phase
+  // durations, and the shock process never contend for draws, so adding a
+  // breakdown to one machine can never perturb another machine's losses,
+  // and each stream can be sampled in batches.
+  support::Rng root(config.seed);
+  BatchedCoins loss_coins(root.split(1));
+  support::Rng phase_rng = root.split(2);
+  support::Rng shock_rng = root.split(3);
 
   // edge_buffer[i][k]: products waiting at task i coming from its k-th
   // predecessor. Source tasks have no predecessors and unlimited input.
@@ -116,17 +156,20 @@ SimulationReport Simulator::run(const SimulationConfig& config, const TraceHook&
   report.machine_busy_time.assign(m, 0.0);
   report.machine_down_time.assign(m, 0.0);
 
+  // Per-machine state. Busy and down phases remember when they opened so
+  // time accrues on phase *completion* (or clipped at termination) — the
+  // accounting that keeps utilization <= 1 under max_time truncation.
   std::vector<bool> machine_busy(m, false);
   std::vector<bool> machine_down(m, false);
-  EventQueue<MachineEvent> events;
-  double now = 0.0;
-  double warmup_end_time = 0.0;
+  std::vector<bool> fail_pending(m, false);  // up phase ended while busy
+  std::vector<bool> doomed(m, false);        // in-flight product hit by a shock
+  std::vector<TaskIndex> in_flight(m, kNoTask);
+  std::vector<double> busy_since(m, 0.0);
+  std::vector<double> down_since(m, 0.0);
 
-  // Transient machine downtime: each machine carries the time of its next
-  // breakdown; crossing it while idle triggers a repair phase. Phase means
-  // come from the failure model when it covers the machine, falling back to
-  // the config's global pair; a mean uptime of 0 disables downtime for that
-  // machine (next_breakdown stays at infinity).
+  // Phase means come from the failure model when it covers the machine,
+  // falling back to the config's global pair; a mean uptime of 0 disables
+  // downtime for that machine.
   const core::FailureModel* model = config.failure_model;
   std::vector<double> mean_uptime(m, config.mean_uptime_ms);
   std::vector<double> mean_repair(m, config.mean_repair_ms);
@@ -139,29 +182,66 @@ SimulationReport Simulator::run(const SimulationConfig& config, const TraceHook&
       }
     }
   }
-  std::vector<double> next_breakdown(m, std::numeric_limits<double>::infinity());
-  for (MachineIndex u = 0; u < m; ++u) {
-    if (mean_uptime[u] > 0.0) next_breakdown[u] = rng.exponential(mean_uptime[u]);
+
+  // The factory-wide common-mode shock process (ShockMode::kArrivalProcess
+  // and a model that reports one). Calibration: shocks tick as one Poisson
+  // clock of rate lambda; a tick destroys machine M_u's in-flight attempt
+  // of task i with severity q_{i,u} = -ln(1 - s_u) / (lambda * w_{i,u}).
+  // Kills thin the tick stream into a Poisson kill process of rate
+  // lambda * q, so an attempt of duration w survives with probability
+  // exp(-lambda * q * w) = 1 - s_u *exactly*, independent of duration —
+  // the marginal per attempt matches the per-attempt path while every tick
+  // hits all machines at the same instant (the common mode). lambda is the
+  // smallest rate that keeps every severity <= 1: the max of
+  // -ln(1 - s_u) / w_{i,u} over mapped (task, machine) pairs.
+  const bool arrival_mode = config.shock_mode == ShockMode::kArrivalProcess;
+  std::vector<double> shock_hazard(m, 0.0);  // -ln(1 - s_u); 0 = shock-free
+  double shock_rate = 0.0;                   // lambda, ticks per ms
+  if (arrival_mode && model != nullptr) {
+    const std::vector<double> shock = model->shock_per_attempt();
+    MF_REQUIRE(shock.empty() || shock.size() >= m,
+               "shock_per_attempt must cover every machine");
+    for (MachineIndex u = 0; u < m && u < shock.size(); ++u) {
+      MF_REQUIRE(shock[u] >= 0.0 && shock[u] < 1.0, "per-attempt shock out of [0, 1)");
+      if (shock[u] <= 0.0) continue;
+      shock_hazard[u] = -std::log1p(-shock[u]);
+      for (TaskIndex i : machine_tasks_[u]) {
+        shock_rate = std::max(shock_rate, shock_hazard[u] / problem.platform.time(i, u));
+      }
+    }
   }
+  const bool shock_process = shock_rate > 0.0;
 
   // Machines whose blocked producers may have been released by a buffer
   // consumption; drained after every start to propagate wake-ups without
   // recursion.
   std::vector<MachineIndex> wake_queue;
+  wake_queue.reserve(n + m);
+
+  // The pending set is bounded: at most one attempt-complete plus one
+  // fail-or-repair per machine, plus the shock clock. Reserving it (and the
+  // wake queue) up front makes the event loop allocation-free — bench_sim
+  // gates that.
+  EventQueue<Event> events;
+  events.reserve(2 * m + 2);
+  double now = 0.0;
+  double warmup_end_time = 0.0;
+
+  for (MachineIndex u = 0; u < m; ++u) {
+    if (mean_uptime[u] > 0.0) {
+      events.push(phase_rng.exponential(mean_uptime[u]), {EventKind::kMachineFail, u, kNoTask});
+    }
+  }
+  if (shock_process) {
+    events.push(shock_rng.exponential(1.0 / shock_rate),
+                {EventKind::kShockArrival, 0, kNoTask});
+  }
 
   // Starts the next ready, non-blocked task on an idle machine
   // (deepest-first order; safe against branch starvation thanks to the
   // WIP cap).
   auto try_start_one = [&](MachineIndex u) {
     if (machine_busy[u] || machine_down[u]) return;
-    if (now >= next_breakdown[u]) {
-      const double repair = rng.exponential(mean_repair[u]);
-      machine_down[u] = true;
-      report.machine_down_time[u] += repair;
-      next_breakdown[u] = now + repair + rng.exponential(mean_uptime[u]);
-      events.push(now + repair, {u, kNoTask});
-      return;
-    }
     for (TaskIndex i : machine_tasks_[u]) {
       if (ready_units(i) == 0) continue;
       if (!output_free(i)) continue;  // blocked: downstream buffer full
@@ -171,9 +251,10 @@ SimulationReport Simulator::run(const SimulationConfig& config, const TraceHook&
       if (edge_buffer[i].empty() && source_remaining[i] != kNoLimit) --source_remaining[i];
       ++report.per_task[i].attempts;
       machine_busy[u] = true;
-      const double duration = problem.platform.time(i, u);
-      report.machine_busy_time[u] += duration;
-      events.push(now + duration, {u, i});
+      in_flight[u] = i;
+      busy_since[u] = now;
+      doomed[u] = false;
+      events.push(now + problem.platform.time(i, u), {EventKind::kAttemptComplete, u, i});
       if (trace) trace({TraceEvent::Kind::kStart, now, i, u});
       // Consuming inputs may unblock the producers feeding this task.
       for (TaskIndex pred : problem.app.predecessors(i)) {
@@ -192,56 +273,134 @@ SimulationReport Simulator::run(const SimulationConfig& config, const TraceHook&
     }
   };
 
+  auto begin_repair = [&](MachineIndex u) {
+    machine_down[u] = true;
+    down_since[u] = now;
+    events.push(now + phase_rng.exponential(mean_repair[u]),
+                {EventKind::kMachineRepair, u, kNoTask});
+  };
+
   for (MachineIndex u = 0; u < m; ++u) try_start(u);
 
   while (!events.empty()) {
     const auto entry = events.pop();
-    now = entry.time;
-    if (now > config.max_time) {
+    if (entry.time > config.max_time) {
       now = config.max_time;
       break;
     }
-    const auto [u, i] = entry.payload;
-    if (entry.payload.is_repair_done()) {
-      machine_down[u] = false;
-      try_start(u);
-      continue;
-    }
-    machine_busy[u] = false;
+    now = entry.time;
+    ++report.events_processed;
+    const auto [kind, u, i] = entry.payload;
 
-    // The loss draw samples the failure model at the attempt's *start* time
-    // (completion minus duration) — for time-varying models the window that
-    // was active when processing began is the one that applies.
-    const double loss_probability =
-        model != nullptr
-            ? model->loss_probability(problem, i, u, now - problem.platform.time(i, u))
-            : problem.platform.failure(i, u);
-    if (rng.bernoulli(loss_probability)) {
-      ++report.per_task[i].losses;
-      if (trace) trace({TraceEvent::Kind::kLoss, now, i, u});
-    } else {
-      ++report.per_task[i].successes;
-      if (trace) trace({TraceEvent::Kind::kSuccess, now, i, u});
-      const TaskIndex succ = problem.app.successor(i);
-      if (succ == kNoTask) {
-        ++report.finished_products;
-        if (trace) trace({TraceEvent::Kind::kOutput, now, i, u});
-        if (report.finished_products == config.warmup_outputs) warmup_end_time = now;
-        if (config.target_outputs != 0 &&
-            report.finished_products >= config.target_outputs) {
+    switch (kind) {
+      case EventKind::kMachineFail: {
+        ++report.machine_failures;
+        if (trace) trace({TraceEvent::Kind::kMachineFail, now, in_flight[u], u});
+        if (machine_busy[u]) {
+          // Breakdowns never interrupt the product in progress: the down
+          // phase opens when the in-flight attempt completes.
+          fail_pending[u] = true;
+        } else {
+          begin_repair(u);
+        }
+        break;
+      }
+
+      case EventKind::kMachineRepair: {
+        ++report.machine_repairs;
+        machine_down[u] = false;
+        report.machine_down_time[u] += now - down_since[u];
+        if (trace) trace({TraceEvent::Kind::kMachineRepair, now, kNoTask, u});
+        // The next up phase starts now — every cycle is its own pair of
+        // scheduled events, so idle stretches play out each breakdown.
+        events.push(now + phase_rng.exponential(mean_uptime[u]),
+                    {EventKind::kMachineFail, u, kNoTask});
+        try_start(u);
+        break;
+      }
+
+      case EventKind::kShockArrival: {
+        ++report.shock_arrivals;
+        if (trace) trace({TraceEvent::Kind::kShock, now, kNoTask, kNoMachineTrace});
+        for (MachineIndex v = 0; v < m; ++v) {
+          if (!machine_busy[v] || doomed[v] || shock_hazard[v] <= 0.0) continue;
+          const double severity =
+              shock_hazard[v] / (shock_rate * problem.platform.time(in_flight[v], v));
+          if (shock_rng.bernoulli(severity)) doomed[v] = true;
+        }
+        events.push(now + shock_rng.exponential(1.0 / shock_rate),
+                    {EventKind::kShockArrival, 0, kNoTask});
+        break;
+      }
+
+      case EventKind::kAttemptComplete: {
+        machine_busy[u] = false;
+        in_flight[u] = kNoTask;
+        report.machine_busy_time[u] += now - busy_since[u];
+
+        // The loss draw samples the failure model at the attempt's *start*
+        // time — for time-varying models the window that was active when
+        // processing began is the one that applies. When the common-mode
+        // shock runs as an arrival process, the completion coin covers only
+        // the residual (attempt-local) losses; shock kills arrived already.
+        bool lost;
+        if (doomed[u]) {
+          lost = true;
+          ++report.shock_losses;
+          doomed[u] = false;
+        } else {
+          const double loss_probability =
+              model == nullptr ? problem.platform.failure(i, u)
+              : shock_process  ? model->residual_loss_probability(problem, i, u, busy_since[u])
+                               : model->loss_probability(problem, i, u, busy_since[u]);
+          lost = loss_coins.bernoulli(loss_probability);
+        }
+
+        bool reached_target = false;
+        if (lost) {
+          ++report.per_task[i].losses;
+          if (trace) trace({TraceEvent::Kind::kLoss, now, i, u});
+        } else {
+          ++report.per_task[i].successes;
+          if (trace) trace({TraceEvent::Kind::kSuccess, now, i, u});
+          const TaskIndex succ = problem.app.successor(i);
+          if (succ == kNoTask) {
+            ++report.finished_products;
+            if (trace) trace({TraceEvent::Kind::kOutput, now, i, u});
+            if (report.finished_products == config.warmup_outputs) warmup_end_time = now;
+            if (config.target_outputs != 0 &&
+                report.finished_products >= config.target_outputs) {
+              reached_target = true;
+            }
+          } else {
+            ++edge_buffer[succ][output_slot_[i]];
+            // The successor's machine may have been starved; wake it.
+            if (!reached_target) try_start(mapping_.machine_of(succ));
+          }
+        }
+        if (reached_target) {
           report.reached_target = true;
           break;
         }
-      } else {
-        ++edge_buffer[succ][output_slot_[i]];
-        // The successor's machine may have been starved; wake it.
-        try_start(mapping_.machine_of(succ));
+        if (fail_pending[u]) {
+          fail_pending[u] = false;
+          begin_repair(u);
+        } else {
+          try_start(u);
+        }
+        break;
       }
     }
-    try_start(u);
+    if (report.reached_target) break;
   }
 
   report.end_time = now;
+  // Clip phases still open at termination to the horizon: a truncated run
+  // charges in-flight attempts and unfinished repairs only up to end_time.
+  for (MachineIndex u = 0; u < m; ++u) {
+    if (machine_busy[u]) report.machine_busy_time[u] += now - busy_since[u];
+    if (machine_down[u]) report.machine_down_time[u] += now - down_since[u];
+  }
   if (report.finished_products > config.warmup_outputs && now > warmup_end_time) {
     const auto measured =
         static_cast<double>(report.finished_products - config.warmup_outputs);
@@ -251,9 +410,7 @@ SimulationReport Simulator::run(const SimulationConfig& config, const TraceHook&
   report.machine_utilization.assign(m, 0.0);
   if (now > 0.0) {
     for (MachineIndex u = 0; u < m; ++u) {
-      // busy_time was accumulated at start; clip to the horizon for tasks
-      // still in flight at termination.
-      report.machine_utilization[u] = std::min(1.0, report.machine_busy_time[u] / now);
+      report.machine_utilization[u] = report.machine_busy_time[u] / now;
     }
   }
   return report;

@@ -11,16 +11,37 @@
 // factory runs in saturation, which is the regime in which throughput
 // equals 1/period.
 //
-// The measured steady-state period converges to the analytic one (the
-// property tests check this), and per-task attempt counts divided by
-// finished products converge to the x_i of Section 4.1.
+// The engine is a single-threaded pending-event heap keyed by simulated
+// time, with a first-class event taxonomy:
+//
+//   kAttemptComplete — a machine finishes processing one product (the loss
+//                      draw happens here, at the attempt's *start*-time
+//                      rates for time-varying models);
+//   kMachineFail     — a machine's up phase ends. Idle machines break down
+//                      on time; a busy machine finishes its in-flight
+//                      product first (breakdowns never destroy products,
+//                      they delay the next start);
+//   kMachineRepair   — a repair completes; the next up phase is scheduled
+//                      and the machine resumes work. Every up/down cycle is
+//                      played out individually — consecutive phases never
+//                      collapse, no matter how long a machine idles;
+//   kShockArrival    — one tick of the factory-wide common-mode shock
+//                      process (ShockMode::kArrivalProcess): every machine
+//                      with a product in flight is hit at the same instant.
+//
+// The measured steady-state period converges to the analytic one, and
+// per-task attempt counts divided by finished products converge to the x_i
+// of Section 4.1 — sim/stats.hpp turns those convergence claims into
+// batch-means confidence intervals and z-score gates (see
+// docs/simulation.md for the methodology).
 //
 // Loss draws default to the base f_{i,u}; setting
 // `SimulationConfig::failure_model` samples any `core::FailureModel`
 // instead — time-varying rates are evaluated at each attempt's start time,
 // and availability models drive per-machine up/down phases — so every
 // model's analytic reduction (worst-window planning, availability-inflated
-// times) is validated against an empirical Monte-Carlo period.
+// times, shock-folded rates) is validated against an empirical Monte-Carlo
+// period.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +56,30 @@
 #include "support/rng.hpp"
 
 namespace mf::sim {
+
+/// The event taxonomy of the pending-event heap (see the header comment).
+enum class EventKind : std::uint8_t {
+  kAttemptComplete,
+  kMachineFail,
+  kMachineRepair,
+  kShockArrival,
+};
+
+/// How a model's machine-level common-mode shock (e.g.
+/// `core::CorrelatedFailureModel`) is sampled.
+enum class ShockMode : std::uint8_t {
+  /// Fold the shock into each attempt's loss coin (the model's composed
+  /// loss_probability). Attempt outcomes are independent across machines.
+  kPerAttempt,
+  /// Play the shock as a factory-wide Poisson arrival process: one shock
+  /// clock for the whole factory; each tick hits every in-flight product
+  /// at the same instant (common mode), destroying the product on machine
+  /// M_u with a per-arrival severity calibrated so the *marginal* loss per
+  /// attempt is exactly the model's s_u — the two modes agree statistically
+  /// on every per-machine marginal, and sim::stats tests enforce it.
+  /// Models without a shock process behave identically in both modes.
+  kArrivalProcess,
+};
 
 struct SimulationConfig {
   std::uint64_t seed = 1;
@@ -53,20 +98,25 @@ struct SimulationConfig {
 
   /// Optional transient machine downtime (an extension beyond the paper's
   /// model, which attaches transient failures to products only): machines
-  /// alternate exponentially distributed up/down phases. A breakdown never
-  /// interrupts the product in progress — it delays the *next* start, so
-  /// downtime stalls the line without destroying products.
+  /// alternate exponentially distributed up/down phases, scheduled as
+  /// kMachineFail/kMachineRepair events. A breakdown never interrupts the
+  /// product in progress — it delays the *next* start, so downtime stalls
+  /// the line without destroying products.
   double mean_uptime_ms = 0.0;  ///< 0 disables downtime
   double mean_repair_ms = 0.0;
 
   /// Failure model to *sample* instead of the problem's base rates: each
-  /// attempt's loss draw uses `loss_probability(problem, i, u, start_time)`
-  /// and machines take the model's per-machine up/repair phases (which
-  /// override the two global fields above for machines the model covers).
-  /// Null keeps the base-rate behavior, bit-identical to pre-model builds.
-  /// The caller owns the model and must keep it alive across `run()` —
-  /// scenario-registry instances hold it in a shared_ptr.
+  /// attempt's loss draw uses the model's loss probability at the attempt's
+  /// start time, and machines take the model's per-machine up/repair phases
+  /// (which override the two global fields above for machines the model
+  /// covers). Null keeps the base-rate behavior. The caller owns the model
+  /// and must keep it alive across `run()` — scenario-registry instances
+  /// hold it in a shared_ptr.
   const core::FailureModel* failure_model = nullptr;
+
+  /// How the model's machine-shock component is sampled (no effect for
+  /// models without one, or without a failure_model at all).
+  ShockMode shock_mode = ShockMode::kPerAttempt;
 
   /// Work-in-progress cap per dependency edge (0 = unbounded). A task may
   /// only start when its successor's buffer for it holds fewer than this
@@ -98,21 +148,48 @@ struct SimulationReport {
   double measured_throughput = 0.0;
 
   std::vector<TaskCounters> per_task;
+  /// Busy/down times accrue as phases *complete* and are clipped to the
+  /// horizon for phases still open at termination, so utilization and
+  /// downtime can never exceed end_time even when max_time truncates the
+  /// run mid-attempt or mid-repair.
   std::vector<double> machine_busy_time;
-  std::vector<double> machine_utilization;  ///< busy / end_time
+  std::vector<double> machine_utilization;  ///< busy / end_time, always <= 1
   std::vector<double> machine_down_time;    ///< repair time accrued per machine
+
+  /// Taxonomy counters.
+  std::uint64_t events_processed = 0;  ///< heap pops handled (all kinds)
+  std::uint64_t machine_failures = 0;  ///< kMachineFail events
+  std::uint64_t machine_repairs = 0;   ///< kMachineRepair events
+  std::uint64_t shock_arrivals = 0;    ///< kShockArrival ticks
+  std::uint64_t shock_losses = 0;      ///< products destroyed by a shock tick
 
   /// attempts[i] / finished_products: the empirical x_i.
   [[nodiscard]] std::vector<double> empirical_products_per_output() const;
 };
 
-/// Observable simulator events, for tracing examples and tests.
+/// Observable simulator events, for tracing examples and tests. kStart /
+/// kSuccess / kLoss / kOutput follow one product through one attempt;
+/// kMachineFail / kMachineRepair / kShock mirror the machine- and
+/// factory-level taxonomy events (task is kNoTask unless a product was in
+/// flight; kShock reports machine == kNoMachineTrace, it hits the factory).
 struct TraceEvent {
-  enum class Kind { kStart, kSuccess, kLoss, kOutput } kind;
+  enum class Kind {
+    kStart,
+    kSuccess,
+    kLoss,
+    kOutput,
+    kMachineFail,
+    kMachineRepair,
+    kShock,
+  } kind;
   double time;
   core::TaskIndex task;
   core::MachineIndex machine;
 };
+
+/// TraceEvent::machine value for factory-wide (machine-less) events.
+inline constexpr core::MachineIndex kNoMachineTrace =
+    std::numeric_limits<core::MachineIndex>::max();
 
 using TraceHook = std::function<void(const TraceEvent&)>;
 
@@ -120,7 +197,10 @@ class Simulator {
  public:
   Simulator(const core::Problem& problem, const core::Mapping& mapping);
 
-  /// Runs one campaign. Deterministic in (config.seed, problem, mapping).
+  /// Runs one campaign. Deterministic in (config, problem, mapping): the
+  /// loss draws, the up/repair phase draws and the shock process each
+  /// consume an independent RNG substream of config.seed, so reports are
+  /// bit-identical across repeated runs and across hosts.
   [[nodiscard]] SimulationReport run(const SimulationConfig& config,
                                      const TraceHook& trace = {}) const;
 

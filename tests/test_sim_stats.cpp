@@ -1,0 +1,141 @@
+// Tests for sim::stats — the trajectory-statistics validation harness.
+// Unit tests pin the batch-means and z-statistic math on hand-checkable
+// inputs; the agreement suite then runs the real gate matrix: every
+// registered scenario family × topology validated against its analytic
+// period reduction at pinned seeds, plus the two-path shock comparison
+// (per-attempt coins vs the common-mode arrival process).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "exp/scenario_registry.hpp"
+#include "sim/stats.hpp"
+
+namespace mf::sim::stats {
+namespace {
+
+TEST(BatchMeans, ConstantSpacingHasZeroVariance) {
+  // Outputs every 10 ms: every batch mean is exactly 10, variance 0.
+  std::vector<double> times;
+  for (int k = 1; k <= 110; ++k) times.push_back(10.0 * k);
+  const BatchMeans result = batch_means_period(times, 10, 4);
+  EXPECT_EQ(result.batch_count, 4u);
+  EXPECT_EQ(result.batch_size, 25u);
+  EXPECT_DOUBLE_EQ(result.mean, 10.0);
+  EXPECT_DOUBLE_EQ(result.variance, 0.0);
+  EXPECT_DOUBLE_EQ(result.std_error, 0.0);
+}
+
+TEST(BatchMeans, HandComputedTwoBatchCase) {
+  // Warmup 1 output at t=0; two batches of two outputs.
+  // Batch 1 spans t=0 -> t=8 over 2 outputs: mean 4. Batch 2 spans
+  // t=8 -> t=20: mean 6. Grand mean 5, sample variance (1+1)/(2-1) = 2,
+  // std error sqrt(2/2) = 1.
+  const std::vector<double> times{0.0, 3.0, 8.0, 15.0, 20.0};
+  const BatchMeans result = batch_means_period(times, 1, 2);
+  EXPECT_EQ(result.batch_size, 2u);
+  EXPECT_DOUBLE_EQ(result.mean, 5.0);
+  EXPECT_DOUBLE_EQ(result.variance, 2.0);
+  EXPECT_DOUBLE_EQ(result.std_error, 1.0);
+  EXPECT_DOUBLE_EQ(result.ci95_half_width(), 1.96);
+}
+
+TEST(BatchMeans, DropsTrailingPartialBatch) {
+  // 11 measured outputs into 3 batches: size 3, the last 2 are dropped —
+  // the mean covers outputs 1..9 only.
+  std::vector<double> times;
+  for (int k = 0; k <= 11; ++k) times.push_back(static_cast<double>(k));
+  const BatchMeans result = batch_means_period(times, 1, 3);
+  EXPECT_EQ(result.batch_size, 3u);
+  EXPECT_DOUBLE_EQ(result.mean, 1.0);
+}
+
+TEST(BatchMeans, RejectsDegenerateInputs) {
+  const std::vector<double> times{1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(batch_means_period(times, 0, 2), std::invalid_argument);   // no anchor
+  EXPECT_THROW(batch_means_period(times, 1, 1), std::invalid_argument);   // one batch
+  EXPECT_THROW(batch_means_period(times, 3, 2), std::invalid_argument);   // too short
+}
+
+TEST(ZStatistics, OneAndTwoSample) {
+  BatchMeans sample;
+  sample.mean = 105.0;
+  sample.std_error = 2.5;
+  EXPECT_DOUBLE_EQ(one_sample_z(sample, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(one_sample_z(sample, 110.0), -2.0);
+
+  BatchMeans other;
+  other.mean = 100.0;
+  other.std_error = 2.5;
+  // Pooled se = sqrt(2.5^2 + 2.5^2); z = 5 / that.
+  EXPECT_NEAR(two_sample_z(sample, other), 5.0 / std::sqrt(12.5), 1e-12);
+
+  sample.std_error = 0.0;
+  EXPECT_THROW(one_sample_z(sample, 100.0), std::invalid_argument);
+}
+
+// --- The agreement gate matrix ----------------------------------------------
+
+/// The full matrix at the pinned CI seed: every registered scenario family
+/// on both topologies. This is the statistical gate of docs/simulation.md —
+/// the simulator's batch-means period must agree with the model's analytic
+/// reduction within noise + the documented bias band.
+TEST(SimStatsAgreement, EveryScenarioFamilyMatchesItsAnalyticReduction) {
+  ValidationConfig config;  // pinned defaults: seed 1, 20 x 1000 outputs
+  const std::vector<ValidationResult> results = validate_registered_scenarios(config);
+  // 4 built-in families x 2 topologies (out-of-tree registrations only add).
+  ASSERT_GE(results.size(), 8u);
+  for (const ValidationResult& result : results) {
+    EXPECT_TRUE(result.pass) << result.describe();
+    EXPECT_GT(result.analytic_period, 0.0);
+    EXPECT_GT(result.empirical.std_error, 0.0);
+    EXPECT_EQ(result.empirical.batch_count, config.batch_count);
+    // The campaign really ran to its target.
+    EXPECT_TRUE(result.report.reached_target) << result.describe();
+  }
+}
+
+/// The arrival-process path must pass the same analytic gate as the
+/// per-attempt path: the calibrated common-mode process preserves every
+/// per-attempt loss marginal, so the period agrees with the reduction too.
+TEST(SimStatsAgreement, ArrivalProcessShockPassesAnalyticGate) {
+  ValidationConfig config;
+  config.shock_mode = ShockMode::kArrivalProcess;
+  for (const Topology topology : {Topology::kChain, Topology::kInTree}) {
+    const ValidationResult result = validate_scenario("correlated", topology, config);
+    EXPECT_TRUE(result.pass) << result.describe();
+    EXPECT_GT(result.report.shock_arrivals, 0u) << "the shock clock never ticked";
+  }
+}
+
+/// Two-path shock agreement: per-attempt coins vs the arrival process give
+/// statistically indistinguishable periods (the simulator.cpp calibration
+/// contract), while only the arrival path produces common-mode kills.
+TEST(SimStatsAgreement, ShockPathsAgreeStatistically) {
+  ValidationConfig config;
+  for (const Topology topology : {Topology::kChain, Topology::kInTree}) {
+    const ShockComparison comparison = compare_shock_paths("correlated", topology, config);
+    EXPECT_TRUE(comparison.pass) << comparison.describe();
+    EXPECT_GT(comparison.shock_arrivals, 0u);
+    EXPECT_GT(comparison.shock_losses, 0u);
+  }
+}
+
+/// compare_shock_paths refuses models without a common-mode component.
+TEST(SimStatsAgreement, ShockComparisonRequiresCommonModeModel) {
+  ValidationConfig config;
+  EXPECT_THROW((void)compare_shock_paths("iid", Topology::kChain, config),
+               std::invalid_argument);
+}
+
+/// validate_scenario surfaces unknown scenario ids with the registry's
+/// listing error.
+TEST(SimStatsAgreement, UnknownScenarioThrows) {
+  ValidationConfig config;
+  EXPECT_THROW((void)validate_scenario("no-such-family", Topology::kChain, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mf::sim::stats

@@ -6,9 +6,9 @@
 #include <cmath>
 
 #include "core/evaluation.hpp"
+#include "core/failure_model.hpp"
 #include "exp/scenario.hpp"
 #include "heuristics/heuristic.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "test_helpers.hpp"
 
@@ -17,24 +17,6 @@ namespace {
 
 using core::Mapping;
 using core::Problem;
-
-TEST(EventQueue, OrdersByTimeThenInsertion) {
-  EventQueue<int> queue;
-  queue.push(5.0, 1);
-  queue.push(3.0, 2);
-  queue.push(5.0, 3);
-  EXPECT_EQ(queue.size(), 3u);
-  EXPECT_EQ(queue.pop().payload, 2);
-  EXPECT_EQ(queue.pop().payload, 1);  // FIFO among equal times
-  EXPECT_EQ(queue.pop().payload, 3);
-  EXPECT_TRUE(queue.empty());
-}
-
-TEST(EventQueue, Validation) {
-  EventQueue<int> queue;
-  EXPECT_THROW(queue.pop(), std::invalid_argument);
-  EXPECT_THROW(queue.push(-1.0, 0), std::invalid_argument);
-}
 
 TEST(Simulator, DeterministicForSameSeed) {
   const Problem problem = test::tiny_chain_problem();
@@ -258,6 +240,163 @@ TEST(Simulator, DowntimeOnlyDelaysTheAffectedMachine) {
   config.mean_repair_ms = 100.0;  // ~2% unavailability on a 10x-fast stage
   const SimulationReport report = Simulator(problem, mapping).run(config);
   EXPECT_NEAR(report.measured_period, 500.0, 25.0);
+}
+
+TEST(Simulator, TruncationClipsBusyAndDownTimeToHorizon) {
+  // Regression: busy/down phases used to be booked in full at phase *start*,
+  // so a run truncated by max_time mid-attempt (or mid-repair) reported
+  // busy_time > end_time — utilization above 1. Phases now accrue at
+  // completion and are clipped at termination.
+  const Problem problem = test::uniform_problem({0}, 1, 100.0, 0.0);
+  const Mapping mapping{{0}};
+  SimulationConfig config;
+  config.seed = 11;
+  config.target_outputs = 1'000'000;
+  config.warmup_outputs = 0;
+  config.mean_uptime_ms = 300.0;
+  config.mean_repair_ms = 300.0;
+  config.max_time = 1'050.0;  // cuts mid-attempt or mid-repair almost surely
+  const SimulationReport report = Simulator(problem, mapping).run(config);
+  ASSERT_FALSE(report.reached_target);
+  EXPECT_LE(report.end_time, config.max_time + 1e-9);
+  EXPECT_LE(report.machine_busy_time[0], report.end_time + 1e-9);
+  EXPECT_LE(report.machine_down_time[0], report.end_time + 1e-9);
+  EXPECT_LE(report.machine_busy_time[0] + report.machine_down_time[0],
+            report.end_time + 1e-9);
+  EXPECT_LE(report.machine_utilization[0], 1.0 + 1e-12);
+}
+
+TEST(Simulator, IdleMachinesBreakDownOnTime) {
+  // A machine with nothing to do still ages: give machine 1 no mapped tasks
+  // and short up phases — its breakdowns must be *scheduled* events, not
+  // lazy checks at the next start (which never comes).
+  const Problem problem = test::uniform_problem({0}, 2, 100.0, 0.0);
+  const Mapping mapping{{0}};  // machine 1 is idle forever
+  SimulationConfig config;
+  config.seed = 4;
+  config.target_outputs = 100;
+  config.warmup_outputs = 10;
+  config.mean_uptime_ms = 200.0;
+  config.mean_repair_ms = 50.0;
+  const SimulationReport report = Simulator(problem, mapping).run(config);
+  ASSERT_TRUE(report.reached_target);
+  EXPECT_GT(report.machine_failures, 0u);
+  EXPECT_GT(report.machine_repairs, 0u);
+  // The idle machine accrued repair time even though it never processed.
+  EXPECT_GT(report.machine_down_time[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.machine_busy_time[1], 0.0);
+}
+
+TEST(Simulator, UptimePhasesNeverCollapse) {
+  // Every up/down cycle is its own pair of scheduled events: over a fixed
+  // horizon the failure count concentrates around horizon / (up + repair)
+  // per machine, which lazily-collapsed cycles would undershoot wildly.
+  const Problem problem = test::uniform_problem({0}, 1, 10.0, 0.0);
+  const Mapping mapping{{0}};
+  SimulationConfig config;
+  config.seed = 8;
+  config.target_outputs = 0;
+  config.warmup_outputs = 0;
+  config.mean_uptime_ms = 100.0;
+  config.mean_repair_ms = 100.0;
+  config.max_time = 200'000.0;  // ~1000 expected cycles
+  const SimulationReport report = Simulator(problem, mapping).run(config);
+  EXPECT_NEAR(static_cast<double>(report.machine_failures), 1'000.0, 150.0);
+  // Repairs trail failures by at most the one cycle open at the horizon.
+  EXPECT_LE(report.machine_failures - report.machine_repairs, 1u);
+  // Half the horizon is repair time, within noise.
+  EXPECT_NEAR(report.machine_down_time[0], 100'000.0, 15'000.0);
+}
+
+TEST(Simulator, ShockArrivalsHitEveryInFlightProductAtOnce) {
+  // Two parallel single-task chains is not expressible (one sink), so use a
+  // join: T0 -> T2 <- T1 on three machines with a large common-mode shock
+  // and no base losses. In arrival mode, shock kills on M0 and M1 must be
+  // simultaneous events — the trace shows both losses at one shock time.
+  core::Application app = core::Application::from_successors({0, 1, 2}, {2, 2, core::kNoTask});
+  core::Platform platform = test::make_platform(
+      {{100, 100, 100}, {100, 100, 100}, {100, 100, 100}},
+      {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}});
+  const Problem problem{std::move(app), std::move(platform)};
+  const Mapping mapping{{0, 1, 2}};
+  const core::CorrelatedFailureModel model({0.3, 0.3, 0.3});
+  SimulationConfig config;
+  config.seed = 21;
+  config.target_outputs = 2'000;
+  config.warmup_outputs = 100;
+  config.failure_model = &model;
+  config.shock_mode = ShockMode::kArrivalProcess;
+  std::vector<double> shock_times;
+  std::vector<double> loss_times;
+  const SimulationReport report =
+      Simulator(problem, mapping).run(config, [&](const TraceEvent& event) {
+        if (event.kind == TraceEvent::Kind::kShock) {
+          EXPECT_EQ(event.machine, kNoMachineTrace);  // factory-wide event
+          shock_times.push_back(event.time);
+        }
+        if (event.kind == TraceEvent::Kind::kLoss) loss_times.push_back(event.time);
+      });
+  ASSERT_TRUE(report.reached_target);
+  EXPECT_GT(report.shock_arrivals, 0u);
+  EXPECT_GT(report.shock_losses, 0u);
+  EXPECT_EQ(report.shock_arrivals, shock_times.size());
+  EXPECT_EQ(report.shock_losses, loss_times.size());
+  // With all three stages in lockstep (equal times, no residual losses),
+  // doomed products complete — and are counted lost — at the same instant,
+  // so simultaneous kills show up as duplicate loss timestamps. A severity
+  // of 0.3 per tick makes multi-kills common; require at least one.
+  std::sort(loss_times.begin(), loss_times.end());
+  bool simultaneous = false;
+  for (std::size_t k = 1; k < loss_times.size(); ++k) {
+    if (loss_times[k] == loss_times[k - 1]) simultaneous = true;
+  }
+  EXPECT_TRUE(simultaneous) << "common-mode shocks should kill in-flight products together";
+}
+
+TEST(Simulator, ShockModeIgnoredWithoutCommonModeComponent) {
+  // Models without a shock process behave identically in both modes —
+  // bit-identical reports, no shock events.
+  const Problem problem = test::uniform_problem({0, 1}, 2, 100.0, 0.01);
+  const Mapping mapping{{0, 1}};
+  const core::IidFailureModel model;
+  SimulationConfig config;
+  config.seed = 6;
+  config.target_outputs = 500;
+  config.warmup_outputs = 50;
+  config.failure_model = &model;
+  const Simulator simulator(problem, mapping);
+  const SimulationReport per_attempt = simulator.run(config);
+  config.shock_mode = ShockMode::kArrivalProcess;
+  const SimulationReport arrival = simulator.run(config);
+  EXPECT_EQ(arrival.shock_arrivals, 0u);
+  EXPECT_EQ(arrival.shock_losses, 0u);
+  EXPECT_DOUBLE_EQ(per_attempt.end_time, arrival.end_time);
+  EXPECT_DOUBLE_EQ(per_attempt.measured_period, arrival.measured_period);
+  EXPECT_EQ(per_attempt.events_processed, arrival.events_processed);
+}
+
+TEST(Simulator, TaxonomyCountersAreConsistent) {
+  // events_processed covers every processed pop; attempts equal the number
+  // of kAttemptComplete events when the run ends on its output target.
+  const Problem problem = test::uniform_problem({0, 1}, 2, 100.0, 0.02);
+  const Mapping mapping{{0, 1}};
+  SimulationConfig config;
+  config.seed = 14;
+  config.target_outputs = 300;
+  config.warmup_outputs = 30;
+  config.mean_uptime_ms = 5'000.0;
+  config.mean_repair_ms = 200.0;
+  const SimulationReport report = Simulator(problem, mapping).run(config);
+  ASSERT_TRUE(report.reached_target);
+  std::uint64_t attempts = 0;
+  for (const TaskCounters& counters : report.per_task) attempts += counters.attempts;
+  // Started attempts whose completion never popped (run ended) are the only
+  // shortfall, bounded by the machine count.
+  EXPECT_LE(attempts - (report.events_processed - report.machine_failures -
+                        report.machine_repairs - report.shock_arrivals),
+            problem.machine_count());
+  EXPECT_GT(report.machine_failures, 0u);
+  EXPECT_GE(report.machine_failures, report.machine_repairs);
 }
 
 TEST(Simulator, BatchModeDrainsFiniteSupply) {
